@@ -1,0 +1,78 @@
+"""E7 — Fig. 4: Picasso vs Kokkos-EB vs ECL-GC-R, normalized to ECL-GC-R.
+
+Palette sweep (P in {1, 5, 10, 15}% at alpha = 4.5) on the small suite;
+colors, memory and time are reported relative to the ECL-GC-R analog.
+
+Paper shapes: smaller P -> relative colors approach 1.0 (quality
+matches); Kokkos-EB uses several times ECL-GC's memory; Picasso memory
+is comparable-or-lower than ECL-GC's.
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.coloring import jones_plassmann_ldf, speculative_coloring
+from repro.core import Picasso, PicassoParams
+from repro.graphs import complement_graph
+
+P_SWEEP = (1.0, 5.0, 10.0, 15.0)
+ALPHA = 4.5
+
+
+def test_fig4_comparison(benchmark, small_suite):
+    rows = []
+    rel_colors_by_p = {p: [] for p in P_SWEEP}
+    rel_mem_by_p = {p: [] for p in P_SWEEP}
+    kokkos_mem_ratios = []
+    for name, ps in small_suite.items():
+        if ps.n < 300:
+            continue
+        g = complement_graph(ps)
+        ecl = jones_plassmann_ldf(g, seed=0)
+        kokkos = speculative_coloring(g, seed=0)
+        kokkos_mem_ratios.append(kokkos.peak_bytes / ecl.peak_bytes)
+        rows.append(
+            f"{name:<16} {'ECL-GC':<10} {1.0:>8.2f} {1.0:>8.2f} {1.0:>8.2f}"
+        )
+        rows.append(
+            f"{'':<16} {'KokkosEB':<10} {kokkos.n_colors / ecl.n_colors:>8.2f} "
+            f"{kokkos.peak_bytes / ecl.peak_bytes:>8.2f} "
+            f"{kokkos.elapsed_s / max(ecl.elapsed_s, 1e-9):>8.2f}"
+        )
+        for p in P_SWEEP:
+            params = PicassoParams(palette_fraction=p / 100.0, alpha=ALPHA)
+            pic = Picasso(params=params, seed=0).color(ps)
+            rc = pic.n_colors / ecl.n_colors
+            rm = pic.peak_bytes / ecl.peak_bytes
+            rel_colors_by_p[p].append(rc)
+            rel_mem_by_p[p].append(rm)
+            rows.append(
+                f"{'':<16} {f'Pic P={p}%':<10} {rc:>8.2f} {rm:>8.2f} "
+                f"{pic.elapsed_s / max(ecl.elapsed_s, 1e-9):>8.2f}"
+            )
+
+    lines = [
+        f"Relative to ECL-GC-R analog (alpha = {ALPHA})",
+        f"{'Problem':<16} {'Algorithm':<10} {'colors':>8} {'memory':>8} {'time':>8}",
+        "-" * 56,
+        *rows,
+    ]
+    write_report("fig4_comparison", lines)
+
+    # Paper shapes:
+    # 1. Quality improves monotonically (on average) as P shrinks.
+    means = [np.mean(rel_colors_by_p[p]) for p in P_SWEEP]
+    assert means[0] <= means[-1] + 0.05, means
+    # 2. At P = 1% Picasso is within ~20% of ECL-GC quality.
+    assert means[0] < 1.25, means
+    # 3. Kokkos-EB uses multiples of ECL-GC's memory.
+    assert min(kokkos_mem_ratios) > 1.5
+
+    ps = max(small_suite.values(), key=lambda p: p.n)
+    benchmark.pedantic(
+        lambda: Picasso(
+            params=PicassoParams(palette_fraction=0.05, alpha=ALPHA), seed=0
+        ).color(ps),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,54 @@
+"""E9 — §VI: the parameter-prediction experiment.
+
+Builds a sweep dataset over a seven-input family, trains ridge / lasso
+/ tree / random-forest regressors on five inputs, and evaluates MAPE
+and R² on the two held-out inputs — the paper's methodology (its
+numbers: forest MAPE 0.19, R² 0.88).
+
+Paper shape: the nonlinear models out-predict the linear ones.
+"""
+
+from conftest import write_report
+
+from repro.pauli import random_pauli_set_density
+from repro.predict import build_dataset, compare_models
+
+GRID = dict(
+    palette_percents=(1.0, 2.5, 5.0, 10.0, 15.0, 20.0),
+    alphas=(0.5, 1.5, 2.5, 3.5, 4.5),
+    betas=(0.1, 0.3, 0.5, 0.7, 0.9),
+)
+
+
+def _family(k: int):
+    return random_pauli_set_density(
+        100 + 70 * k, 8, identity_fraction=0.3, seed=k, name=f"mol{k}"
+    )
+
+
+def test_ml_predictor(benchmark):
+    sets = [_family(k) for k in range(7)]
+    dataset = build_dataset(sets, seed=0, **GRID)
+    train, test = dataset.split_by_input({"mol5", "mol6"})
+    results = compare_models(train, test, seed=0)
+
+    lines = [
+        "Parameter predictor: held-out MAPE / R2 per model",
+        f"(train rows: {len(train)}, test rows: {len(test)})",
+        f"{'model':<8} {'MAPE':>8} {'R2':>8}",
+        "-" * 28,
+    ]
+    for name, m in results.items():
+        lines.append(f"{name:<8} {m['mape']:>8.3f} {m['r2']:>+8.3f}")
+    lines.append("")
+    lines.append("paper: random forest MAPE = 0.19, R2 = 0.88")
+    write_report("ml_predictor", lines)
+
+    # Paper shape: best nonlinear model at least matches best linear.
+    best_linear = min(results["ridge"]["mape"], results["lasso"]["mape"])
+    best_nonlinear = min(results["tree"]["mape"], results["forest"]["mape"])
+    assert best_nonlinear <= best_linear * 1.25
+    # Forest must be usefully predictive in absolute terms.
+    assert results["forest"]["mape"] < 0.8
+
+    benchmark(lambda: compare_models(train, test, models=("forest",), seed=0))

@@ -1,0 +1,39 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper's evaluation
+(§VII).  Numeric results are written to ``benchmarks/results/*.txt`` so
+they survive pytest's stdout capture; EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, lines: list[str]) -> None:
+    """Persist a paper-style text table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    """Small-tier molecule suite (H2/H4/H6 sto3g), generated once."""
+    from repro.datasets import molecule_suite
+
+    return molecule_suite("small")
+
+
+@pytest.fixture(scope="session")
+def medium_suite():
+    """Medium-tier suite (H8 sto3g, H4 631g)."""
+    from repro.datasets import molecule_suite
+
+    return molecule_suite("medium")

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Comparing the three Pauli-grouping relations of paper §III.
+
+Unitary partitioning (anticommuting cliques — the paper's target),
+general commutativity (GC) and qubit-wise commutativity (QWC) are all
+clique-partitioning problems; Picasso solves each by coloring the
+streamed complement of the corresponding compatibility graph.
+
+The §III claim this reproduces: grouping typically shrinks the term
+count by a healthy factor, with GC the loosest relation (fewest groups)
+and QWC the strictest (most groups, but measurable without extra
+gates).
+
+Run:  python examples/measurement_grouping.py
+"""
+
+from repro.chemistry import hn_pauli_set
+from repro.core import aggressive_params
+from repro.pauli import group_pauli_set, validate_grouping
+
+
+def main() -> None:
+    for args in ((3, 1, "sto3g"), (4, 1, "sto3g")):
+        ps = hn_pauli_set(*args)
+        print(f"\n{ps.name}: {ps.n} Pauli strings over {ps.n_qubits} qubits")
+        print(f"{'relation':<14} {'groups':>7} {'reduction':>10}")
+        for relation in ("qubitwise", "anticommute", "commute"):
+            grouping = group_pauli_set(
+                ps, relation, params=aggressive_params(), seed=0
+            )
+            assert validate_grouping(ps, grouping)
+            print(
+                f"{relation:<14} {grouping.n_colors:>7} "
+                f"{grouping.reduction:>9.1f}x"
+            )
+    print(
+        "\nGC admits the largest groups (any commuting pair), QWC the "
+        "smallest\n(single-basis measurable), with unitary partitioning "
+        "in between —\nthe §III trade-off between group count and "
+        "measurement overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

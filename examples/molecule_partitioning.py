@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Unitary partitioning across the Hn suite: Picasso vs the baselines.
+
+For each small-tier molecule this reproduces the paper's §VII-A
+comparison in miniature: coloring quality (final unitary count) and
+memory residency of Picasso's Normal/Aggressive modes against greedy
+orderings (ColPack analog) on the explicit complement graph.
+
+Run:  python examples/molecule_partitioning.py
+"""
+
+from repro import Picasso, aggressive_params, normal_params
+from repro.coloring import greedy_coloring
+from repro.datasets import molecule_suite
+from repro.graphs import complement_graph
+from repro.memory import bytes_human
+
+
+def main() -> None:
+    suite = molecule_suite("small")
+    header = (
+        f"{'molecule':<16} {'|V|':>6} {'DLF':>6} {'LF':>6} "
+        f"{'Pic-N':>6} {'Pic-A':>6} {'mem graph':>10} {'mem Pic-N':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, ps in suite.items():
+        if ps.n < 50:  # H2 is too tiny to compare meaningfully
+            continue
+        g = complement_graph(ps)
+        dlf = greedy_coloring(g, "dlf")
+        lf = greedy_coloring(g, "lf")
+        pic_n = Picasso(params=normal_params(), seed=0).color(ps)
+        pic_a = Picasso(params=aggressive_params(), seed=0).color(ps)
+        print(
+            f"{name:<16} {ps.n:>6} {dlf.n_colors:>6} {lf.n_colors:>6} "
+            f"{pic_n.n_colors:>6} {pic_a.n_colors:>6} "
+            f"{bytes_human(dlf.peak_bytes):>10} "
+            f"{bytes_human(pic_n.peak_bytes):>10}"
+        )
+    print(
+        "\nReading guide (paper Table III/IV shapes): aggressive Picasso "
+        "approaches DLF quality\nwhile normal Picasso minimizes resident "
+        "memory; both beat LF on quality for most inputs."
+    )
+
+
+if __name__ == "__main__":
+    main()

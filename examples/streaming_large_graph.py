@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Memory-budgeted coloring of a large dense input (paper §VII-A2 story).
+
+The paper's largest inputs only fit the 40 GB A100 after *tightening*
+the parameters (P = 12.5%, alpha dropped from 2 to 1).  This example
+replays that episode on the device simulator:
+
+1. a dense Pauli workload is colored with default parameters against a
+   deliberately small device budget -> the conflict COO buffer
+   overflows (DeviceOutOfMemory), exactly like the paper's largest
+   instance;
+2. the run is retried with conservative parameters (smaller alpha,
+   larger palette) predicted to fit by the Lemma 2 edge estimate;
+3. it completes, and we report the admissible conflict-edge fraction —
+   the dashed feasibility line of Fig. 2.
+
+Run:  python examples/streaming_large_graph.py
+"""
+
+from repro import DeviceOutOfMemory, DeviceSim, Picasso, PicassoParams
+from repro.core.analysis import expected_conflict_edges
+from repro.core.sources import PauliComplementSource
+from repro.graphs import complement_edge_count
+from repro.memory import bytes_human
+from repro.pauli import random_pauli_set_density
+
+BUDGET = 2 * 1024 * 1024  # a deliberately cramped 2 MB "GPU"
+
+
+def main() -> None:
+    workload = random_pauli_set_density(
+        1200, 10, identity_fraction=0.35, seed=7, name="dense1200"
+    )
+    n_edges = complement_edge_count(workload)
+    print(
+        f"workload: {workload.n} Pauli strings, {n_edges} complement edges "
+        f"(~{200 * n_edges / (workload.n * (workload.n - 1)):.0f}% dense)"
+    )
+    print(f"device budget: {bytes_human(BUDGET)}\n")
+
+    # Attempt 1: generous lists (alpha = 3) -> too many conflict edges.
+    eager = PicassoParams(palette_fraction=0.125, alpha=3.0)
+    device = DeviceSim(budget_bytes=BUDGET)
+    print("attempt 1: P = 12.5%, alpha = 3.0")
+    try:
+        Picasso(params=eager, device=device, seed=0).color(workload)
+        print("  unexpectedly fit!")
+    except DeviceOutOfMemory as exc:
+        print(f"  DeviceOutOfMemory: {exc}")
+
+    # Attempt 2: consult the Lemma 2 estimate and tighten alpha (the
+    # paper's move for its >1-trillion-edge inputs: alpha 2 -> 1).
+    conservative = PicassoParams(palette_fraction=0.125, alpha=1.0)
+    p = conservative.palette_size(workload.n)
+    l = conservative.list_size(workload.n)
+    est = expected_conflict_edges(n_edges, p, l)
+    print(
+        f"\nattempt 2: P = 12.5%, alpha = 1.0 "
+        f"(Lemma 2 estimate: ~{est:,.0f} conflict edges)"
+    )
+    device = DeviceSim(budget_bytes=BUDGET)
+    result = Picasso(params=conservative, device=device, seed=0).color(workload)
+    assert PauliComplementSource(workload).validate(result.colors)
+    frac = 100.0 * result.max_conflict_edges / n_edges
+    print(
+        f"  completed: {result.n_colors} colors in {result.n_iterations} "
+        f"iterations\n  max |Ec| = {result.max_conflict_edges:,} "
+        f"({frac:.1f}% of |E|) — device peak {bytes_human(device.peak_bytes)} "
+        f"of {bytes_human(BUDGET)}"
+    )
+    print(
+        "\nThis is Fig. 2's regime: for fixed parameters the conflict-edge\n"
+        "fraction must shrink as inputs grow; parameter tightening keeps\n"
+        "the build inside the accelerator's memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (no `wheel` package on the CI box)."""
+
+from setuptools import setup
+
+setup()

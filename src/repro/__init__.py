@@ -1,0 +1,62 @@
+"""Picasso: memory-efficient palette-based graph coloring.
+
+Reproduction of *Picasso: Memory-Efficient Graph Coloring Using
+Palettes With Applications in Quantum Computing* (IPDPS 2024,
+arXiv:2401.06713).
+
+Quickstart
+----------
+>>> from repro import Picasso, hn_pauli_set
+>>> pauli_set = hn_pauli_set(4, 1, "sto3g")     # H4 chain, sto-3g
+>>> result = Picasso(seed=0).color(pauli_set)   # partition into unitaries
+>>> result.n_colors < pauli_set.n
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.chemistry import hn_pauli_set, hydrogen_cluster, molecular_pauli_set
+from repro.coloring import (
+    ColoringResult,
+    greedy_coloring,
+    jones_plassmann_ldf,
+    speculative_coloring,
+)
+from repro.core import (
+    Picasso,
+    PicassoParams,
+    PicassoResult,
+    aggressive_params,
+    normal_params,
+    picasso_color,
+)
+from repro.device import DeviceOutOfMemory, DeviceSim
+from repro.graphs import CSRGraph, anticommute_graph, complement_graph
+from repro.pauli import PauliSet, random_pauli_set
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "hn_pauli_set",
+    "hydrogen_cluster",
+    "molecular_pauli_set",
+    "ColoringResult",
+    "greedy_coloring",
+    "jones_plassmann_ldf",
+    "speculative_coloring",
+    "Picasso",
+    "PicassoParams",
+    "PicassoResult",
+    "aggressive_params",
+    "normal_params",
+    "picasso_color",
+    "DeviceOutOfMemory",
+    "DeviceSim",
+    "CSRGraph",
+    "anticommute_graph",
+    "complement_graph",
+    "PauliSet",
+    "random_pauli_set",
+    "__version__",
+]

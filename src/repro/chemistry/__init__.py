@@ -1,0 +1,65 @@
+"""Quantum-chemistry substrate (paper §II-A, Table II workloads).
+
+A self-contained replacement for the OpenFermion pipeline: Hn cluster
+geometries, synthetic (structure-preserving) integrals, second
+quantization, and the Jordan–Wigner / Bravyi–Kitaev fermion-to-qubit
+transforms, ending in a :class:`repro.pauli.PauliSet`.
+"""
+
+from repro.chemistry.bravyi_kitaev import (
+    bravyi_kitaev,
+    bravyi_kitaev_ladder,
+    flip_set,
+    parity_set,
+    update_set,
+)
+from repro.chemistry.fermion import FermionOperator
+from repro.chemistry.geometry import (
+    BASIS_FUNCTIONS_PER_H,
+    Geometry,
+    hydrogen_cluster,
+)
+from repro.chemistry.hamiltonian import (
+    hn_pauli_set,
+    molecular_pauli_set,
+    molecular_qubit_operator,
+    spin_orbital_hamiltonian,
+)
+from repro.chemistry.integrals import IntegralSet, check_symmetries, synthetic_integrals
+from repro.chemistry.jordan_wigner import jordan_wigner, jordan_wigner_ladder
+from repro.chemistry.parity import parity_ladder, parity_transform
+from repro.chemistry.qubit_operator import QubitOperator
+from repro.chemistry.tapering import (
+    TaperingResult,
+    all_sectors,
+    find_z2_symmetries,
+    taper_qubits,
+)
+
+__all__ = [
+    "bravyi_kitaev",
+    "bravyi_kitaev_ladder",
+    "flip_set",
+    "parity_set",
+    "update_set",
+    "FermionOperator",
+    "BASIS_FUNCTIONS_PER_H",
+    "Geometry",
+    "hydrogen_cluster",
+    "hn_pauli_set",
+    "molecular_pauli_set",
+    "molecular_qubit_operator",
+    "spin_orbital_hamiltonian",
+    "IntegralSet",
+    "check_symmetries",
+    "synthetic_integrals",
+    "jordan_wigner",
+    "jordan_wigner_ladder",
+    "parity_ladder",
+    "parity_transform",
+    "QubitOperator",
+    "TaperingResult",
+    "all_sectors",
+    "find_z2_symmetries",
+    "taper_qubits",
+]

@@ -1,0 +1,226 @@
+"""Second-quantized fermionic operators.
+
+A :class:`FermionOperator` is a complex linear combination of products
+of creation/annihilation operators, each product stored as a tuple of
+``(spin_orbital, is_dagger)`` actions applied left-to-right.  Only the
+functionality needed to express molecular Hamiltonians and check their
+algebra is implemented: construction, addition, scalar/operator
+multiplication, Hermitian conjugation, normal-ordering (using the CAR
+``{a_p, a†_q} = δ_pq``), and a dense-matrix export for small systems.
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+
+import numpy as np
+
+Action = tuple[int, bool]  # (orbital, True=creation)
+FTerm = tuple[Action, ...]
+
+
+class FermionOperator:
+    """Linear combination of ladder-operator products.
+
+    ``FermionOperator(((2, True), (0, False)), 1.5)`` is ``1.5 a†_2 a_0``.
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, term: FTerm | None = None, coefficient: complex = 1.0):
+        self.terms: dict[FTerm, complex] = {}
+        if term is not None:
+            term = tuple((int(q), bool(d)) for q, d in term)
+            for q, _ in term:
+                if q < 0:
+                    raise ValueError(f"negative orbital index {q}")
+            self.terms[term] = complex(coefficient)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "FermionOperator":
+        return cls()
+
+    @classmethod
+    def identity(cls, coefficient: complex = 1.0) -> "FermionOperator":
+        return cls((), coefficient)
+
+    # -- algebra ---------------------------------------------------------
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.terms)
+
+    def max_orbital(self) -> int:
+        mo = -1
+        for t in self.terms:
+            for q, _ in t:
+                mo = max(mo, q)
+        return mo
+
+    def copy(self) -> "FermionOperator":
+        out = FermionOperator()
+        out.terms = dict(self.terms)
+        return out
+
+    def __iadd__(self, other: "FermionOperator | Number") -> "FermionOperator":
+        if isinstance(other, Number):
+            other = FermionOperator.identity(complex(other))
+        for t, c in other.terms.items():
+            self.terms[t] = self.terms.get(t, 0) + c
+        return self
+
+    def __add__(self, other: "FermionOperator | Number") -> "FermionOperator":
+        out = self.copy()
+        out += other
+        return out
+
+    def __radd__(self, other: Number) -> "FermionOperator":
+        return self + other
+
+    def __sub__(self, other: "FermionOperator | Number") -> "FermionOperator":
+        return self + (other * -1 if isinstance(other, FermionOperator) else -other)
+
+    def __neg__(self) -> "FermionOperator":
+        return self * -1
+
+    def __mul__(self, other: "FermionOperator | Number") -> "FermionOperator":
+        out = FermionOperator()
+        if isinstance(other, Number):
+            out.terms = {t: c * complex(other) for t, c in self.terms.items()}
+            return out
+        acc = out.terms
+        for t1, c1 in self.terms.items():
+            for t2, c2 in other.terms.items():
+                t = t1 + t2
+                acc[t] = acc.get(t, 0) + c1 * c2
+        return out
+
+    def __rmul__(self, other: Number) -> "FermionOperator":
+        return self * other
+
+    def hermitian_conjugate(self) -> "FermionOperator":
+        """Reverse each product and flip daggers; conjugate coefficients."""
+        out = FermionOperator()
+        for t, c in self.terms.items():
+            rev = tuple((q, not d) for q, d in reversed(t))
+            out.terms[rev] = out.terms.get(rev, 0) + c.conjugate()
+        return out
+
+    def is_hermitian(self, atol: float = 1e-10) -> bool:
+        """Check H == H† after normal ordering both sides."""
+        diff = (self - self.hermitian_conjugate()).normal_ordered()
+        return all(abs(c) < atol for c in diff.terms.values())
+
+    def compress(self, atol: float = 1e-12) -> "FermionOperator":
+        self.terms = {t: c for t, c in self.terms.items() if abs(c) >= atol}
+        return self
+
+    # -- normal ordering ---------------------------------------------------
+
+    def normal_ordered(self) -> "FermionOperator":
+        """Rewrite with all creations left of annihilations, descending
+        orbital order within each block, using ``{a_p, a†_q} = δ_pq``.
+
+        Canonical form allows term-wise comparison of operators that are
+        equal only up to the anticommutation relations.
+        """
+        out = FermionOperator()
+        for term, coeff in self.terms.items():
+            for t, c in _normal_order_term(term, coeff):
+                out.terms[t] = out.terms.get(t, 0) + c
+        return out.compress()
+
+    # -- matrix export ------------------------------------------------------
+
+    def to_matrix(self, n_orbitals: int | None = None) -> np.ndarray:
+        """Dense matrix in the full Fock space (tests / tiny systems).
+
+        Jordan–Wigner-consistent convention: orbital ``p`` acts with a
+        Z-string on orbitals ``0..p-1``, i.e.
+        ``a_p = (Z ⊗)^p ⊗ σ⁻ ⊗ I...`` with qubit 0 the leftmost kron
+        factor.  This matches ``QubitOperator.to_matrix`` ordering so JW
+        correctness can be asserted matrix-to-matrix.
+        """
+        if n_orbitals is None:
+            n_orbitals = self.max_orbital() + 1
+        n_orbitals = max(n_orbitals, 1)
+        if n_orbitals > 12:
+            raise MemoryError("to_matrix limited to 12 orbitals")
+        dim = 2**n_orbitals
+        sigma_minus = np.array([[0, 1], [0, 0]], dtype=complex)  # annihilate
+        z = np.array([[1, 0], [0, -1]], dtype=complex)
+        eye = np.eye(2, dtype=complex)
+
+        def ladder(p: int, dagger: bool) -> np.ndarray:
+            m = np.array([[1.0 + 0j]])
+            for k in range(n_orbitals):
+                if k < p:
+                    m = np.kron(m, z)
+                elif k == p:
+                    op = sigma_minus.conj().T if dagger else sigma_minus
+                    m = np.kron(m, op)
+                else:
+                    m = np.kron(m, eye)
+            return m
+
+        out = np.zeros((dim, dim), dtype=complex)
+        for term, coeff in self.terms.items():
+            m = np.eye(dim, dtype=complex)
+            for q, d in term:
+                m = m @ ladder(q, d)
+            out += coeff * m
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.terms:
+            return "FermionOperator(0)"
+        parts = []
+        for t, c in list(self.terms.items())[:4]:
+            label = " ".join(f"a{'†' if d else ''}_{q}" for q, d in t) or "1"
+            parts.append(f"({c:.4g}) {label}")
+        more = f" ... +{len(self.terms) - 4} terms" if len(self.terms) > 4 else ""
+        return "FermionOperator(" + " + ".join(parts) + more + ")"
+
+
+def _normal_order_term(term: FTerm, coeff: complex):
+    """Bubble a single product into normal order, yielding (term, coeff)
+    pieces.  Swapping adjacent distinct operators flips the sign; a
+    ``a_p a†_p`` swap additionally spawns the identity-contraction term.
+    Repeated creations (or annihilations) of the same orbital vanish.
+    """
+    stack = [(list(term), coeff)]
+    while stack:
+        ops, c = stack.pop()
+        changed = True
+        vanished = False
+        while changed:
+            changed = False
+            for k in range(len(ops) - 1):
+                (q1, d1), (q2, d2) = ops[k], ops[k + 1]
+                if not d1 and d2:  # annihilation left of creation: swap
+                    if q1 == q2:
+                        # a_p a†_p = 1 - a†_p a_p
+                        rest = ops[:k] + ops[k + 2 :]
+                        stack.append((rest, c))
+                        ops[k], ops[k + 1] = (q2, d2), (q1, d1)
+                        c = -c
+                    else:
+                        ops[k], ops[k + 1] = ops[k + 1], ops[k]
+                        c = -c
+                    changed = True
+                    break
+                if d1 == d2:
+                    if q1 == q2:  # a†a† or aa of same orbital -> 0
+                        vanished = True
+                        break
+                    if q1 < q2:  # enforce descending order within block
+                        ops[k], ops[k + 1] = ops[k + 1], ops[k]
+                        c = -c
+                        changed = True
+                        break
+            if vanished:
+                break
+        if not vanished:
+            yield tuple(ops), c

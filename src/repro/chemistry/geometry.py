@@ -1,0 +1,162 @@
+"""Hydrogen-cluster geometries (Table II workload shapes).
+
+The paper's dataset is the Hn family (n = 4, 6, 8, 10) in three spatial
+configurations — 1D chains, 2D grids and 3D lattices — across three
+basis sets (sto3g, 631g, 6311g).  Geometry controls the distance
+structure of the synthetic integrals, which in turn controls the
+sparsity pattern of the resulting Pauli set; the 1D/2D/3D split is what
+gives the paper its "dimensional variability".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Spatial basis functions per hydrogen atom for each supported basis.
+#: (sto-3g: minimal single-zeta; 6-31g: double-zeta; 6-311g: triple-zeta.)
+BASIS_FUNCTIONS_PER_H = {"sto3g": 1, "631g": 2, "6311g": 3}
+
+#: Relative diffuseness of successive zeta shells (arbitrary units used
+#: by the synthetic integral model; larger = more diffuse = slower
+#: distance decay).
+SHELL_SCALES = (1.0, 1.8, 3.0)
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Atom positions plus per-orbital metadata.
+
+    Attributes
+    ----------
+    positions:
+        ``(n_atoms, 3)`` Cartesian coordinates (bohr-like arbitrary units).
+    basis:
+        Basis-set label, key of :data:`BASIS_FUNCTIONS_PER_H`.
+    name:
+        Human-readable label, e.g. ``"H6_2D_sto3g"``.
+    """
+
+    positions: np.ndarray
+    basis: str
+    name: str
+
+    @property
+    def n_atoms(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def n_spatial_orbitals(self) -> int:
+        """Spatial orbitals = atoms x basis functions per atom."""
+        return self.n_atoms * BASIS_FUNCTIONS_PER_H[self.basis]
+
+    @property
+    def n_spin_orbitals(self) -> int:
+        """Qubit count under JW/BK: two spin orbitals per spatial one."""
+        return 2 * self.n_spatial_orbitals
+
+    def orbital_centers(self) -> np.ndarray:
+        """``(n_spatial, 3)`` position of each spatial orbital's atom."""
+        k = BASIS_FUNCTIONS_PER_H[self.basis]
+        return np.repeat(self.positions, k, axis=0)
+
+    def orbital_scales(self) -> np.ndarray:
+        """``(n_spatial,)`` shell diffuseness of each spatial orbital."""
+        k = BASIS_FUNCTIONS_PER_H[self.basis]
+        return np.tile(np.array(SHELL_SCALES[:k]), self.n_atoms)
+
+
+#: Hand-placed 3-D unit layouts for atom counts whose integer grids
+#: would degenerate to 2-D slabs (scaled by bond length).  Without
+#: these, e.g. H4 "3D" would collapse onto the H4 2D square and the
+#: suite would lose the paper's dimensional variability.
+_POLYHEDRA = {
+    4: [  # regular tetrahedron
+        (0.0, 0.0, 0.0),
+        (1.0, 1.0, 0.0),
+        (1.0, 0.0, 1.0),
+        (0.0, 1.0, 1.0),
+    ],
+    6: [  # regular octahedron
+        (1.0, 0.0, 0.0),
+        (-1.0, 0.0, 0.0),
+        (0.0, 1.0, 0.0),
+        (0.0, -1.0, 0.0),
+        (0.0, 0.0, 1.0),
+        (0.0, 0.0, -1.0),
+    ],
+    10: [  # 2x2x2 cube + caps on two opposite faces
+        (0.0, 0.0, 0.0),
+        (1.0, 0.0, 0.0),
+        (0.0, 1.0, 0.0),
+        (1.0, 1.0, 0.0),
+        (0.0, 0.0, 1.0),
+        (1.0, 0.0, 1.0),
+        (0.0, 1.0, 1.0),
+        (1.0, 1.0, 1.0),
+        (0.5, 0.5, -0.8),
+        (0.5, 0.5, 1.8),
+    ],
+}
+
+
+def _grid_dims(n: int, ndim: int) -> tuple[int, ...]:
+    """Near-cubic factorization of ``n`` atoms into an ``ndim`` grid."""
+    if ndim == 1:
+        return (n,)
+    if ndim == 2:
+        w = max(1, round(math.sqrt(n)))
+        while n % w:
+            w -= 1
+        return (w, n // w)
+    # 3-D: peel one near-cubic factor then recurse on 2-D.
+    d = max(1, round(n ** (1.0 / 3.0)))
+    while n % d:
+        d -= 1
+    rest = _grid_dims(n // d, 2)
+    return (d, *rest)
+
+
+def hydrogen_cluster(
+    n_atoms: int,
+    dimensionality: int,
+    basis: str = "sto3g",
+    bond_length: float = 1.4,
+) -> Geometry:
+    """Build an Hn cluster in 1, 2 or 3 dimensions.
+
+    ``dimensionality=1`` gives a chain, 2 a rectangular grid, 3 a
+    cuboidal lattice (falling back to flatter shapes when ``n_atoms``
+    lacks the factors, as a real benchmark generator would).
+
+    Parameters
+    ----------
+    n_atoms:
+        Number of hydrogen atoms (n in Hn).
+    dimensionality:
+        1, 2 or 3.
+    basis:
+        One of ``"sto3g"``, ``"631g"``, ``"6311g"``.
+    bond_length:
+        Nearest-neighbour spacing.
+    """
+    if dimensionality not in (1, 2, 3):
+        raise ValueError("dimensionality must be 1, 2 or 3")
+    if basis not in BASIS_FUNCTIONS_PER_H:
+        raise ValueError(
+            f"unknown basis {basis!r}; expected one of {sorted(BASIS_FUNCTIONS_PER_H)}"
+        )
+    if n_atoms < 1:
+        raise ValueError("n_atoms must be positive")
+    name = f"H{n_atoms}_{dimensionality}D_{basis}"
+    if dimensionality == 3 and n_atoms in _POLYHEDRA:
+        positions = np.array(_POLYHEDRA[n_atoms], dtype=np.float64) * bond_length
+        return Geometry(positions=positions, basis=basis, name=name)
+    dims = _grid_dims(n_atoms, dimensionality)
+    grids = np.meshgrid(*[np.arange(d) for d in dims], indexing="ij")
+    coords = np.stack([g.ravel() for g in grids], axis=1).astype(np.float64)
+    positions = np.zeros((n_atoms, 3))
+    positions[:, : coords.shape[1]] = coords * bond_length
+    return Geometry(positions=positions, basis=basis, name=name)

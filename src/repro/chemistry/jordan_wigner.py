@@ -1,0 +1,40 @@
+"""Jordan–Wigner transform (fermion modes -> qubits).
+
+Standard convention (matching :meth:`FermionOperator.to_matrix`):
+
+    a_p  = Z_0 ... Z_{p-1} (X_p + i Y_p) / 2
+    a†_p = Z_0 ... Z_{p-1} (X_p - i Y_p) / 2
+
+Each ladder operator becomes a 2-term :class:`QubitOperator`; products
+follow from the Pauli algebra.  Ladder images are cached per mode since
+Hamiltonian builds reuse them millions of times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.chemistry.fermion import FermionOperator
+from repro.chemistry.qubit_operator import QubitOperator
+
+
+@lru_cache(maxsize=4096)
+def jordan_wigner_ladder(p: int, dagger: bool) -> QubitOperator:
+    """JW image of a single ladder operator ``a_p`` / ``a†_p``."""
+    zs = tuple((k, "Z") for k in range(p))
+    x_term = zs + ((p, "X"),)
+    y_term = zs + ((p, "Y"),)
+    out = QubitOperator(x_term, 0.5)
+    out += QubitOperator(y_term, -0.5j if dagger else 0.5j)
+    return out
+
+
+def jordan_wigner(op: FermionOperator) -> QubitOperator:
+    """JW transform of an arbitrary :class:`FermionOperator`."""
+    result = QubitOperator.zero()
+    for term, coeff in op.terms.items():
+        prod = QubitOperator.identity(coeff)
+        for q, d in term:
+            prod = prod * jordan_wigner_ladder(q, d)
+        result += prod
+    return result.compress()

@@ -1,0 +1,253 @@
+"""Qubit (Pauli) operator algebra.
+
+A :class:`QubitOperator` is a complex linear combination of Pauli
+strings, stored as ``{term: coefficient}`` where ``term`` is a sorted
+tuple of ``(qubit, 'X'|'Y'|'Z')`` factors (the identity is the empty
+tuple).  The API mirrors OpenFermion's class of the same name so the
+chemistry pipeline reads familiarly, but the implementation is
+self-contained.
+
+Products use the single-qubit Pauli group table
+
+    X·Y = iZ   Y·Z = iX   Z·X = iY   (anti-cyclic order gives −i)
+    P·P = I    I·P = P
+
+carried out factor-by-factor on merge-sorted term tuples, so a product
+of two length-``k`` terms costs O(k).
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+
+import numpy as np
+
+#: Single-qubit product table: (a, b) -> (phase, result); "I" result means
+#: the factors cancelled.
+_PROD: dict[tuple[str, str], tuple[complex, str]] = {
+    ("X", "X"): (1, "I"),
+    ("Y", "Y"): (1, "I"),
+    ("Z", "Z"): (1, "I"),
+    ("X", "Y"): (1j, "Z"),
+    ("Y", "X"): (-1j, "Z"),
+    ("Y", "Z"): (1j, "X"),
+    ("Z", "Y"): (-1j, "X"),
+    ("Z", "X"): (1j, "Y"),
+    ("X", "Z"): (-1j, "Y"),
+}
+
+_PAULI_MATS = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+Term = tuple[tuple[int, str], ...]
+
+
+def _validate_term(term: Term) -> Term:
+    """Normalize a term: sorted by qubit, unique qubits, valid letters."""
+    seen = set()
+    for q, p in term:
+        if p not in ("X", "Y", "Z"):
+            raise ValueError(f"invalid Pauli letter {p!r}")
+        if q < 0:
+            raise ValueError(f"negative qubit index {q}")
+        if q in seen:
+            raise ValueError(f"duplicate qubit {q} in term {term}")
+        seen.add(q)
+    return tuple(sorted(term))
+
+
+def _multiply_terms(t1: Term, t2: Term) -> tuple[complex, Term]:
+    """Product of two normalized terms: (phase, merged term)."""
+    phase: complex = 1
+    out: list[tuple[int, str]] = []
+    i = j = 0
+    while i < len(t1) and j < len(t2):
+        q1, p1 = t1[i]
+        q2, p2 = t2[j]
+        if q1 < q2:
+            out.append((q1, p1))
+            i += 1
+        elif q2 < q1:
+            out.append((q2, p2))
+            j += 1
+        else:
+            ph, p = _PROD[(p1, p2)] if p1 != p2 else (1, "I")
+            phase *= ph
+            if p != "I":
+                out.append((q1, p))
+            i += 1
+            j += 1
+    out.extend(t1[i:])
+    out.extend(t2[j:])
+    return phase, tuple(out)
+
+
+class QubitOperator:
+    """A complex linear combination of Pauli strings.
+
+    Examples
+    --------
+    >>> op = QubitOperator(((0, "X"), (1, "Y")), 0.5)
+    >>> op += QubitOperator((), 1.0)           # identity term
+    >>> (op * op).n_terms
+    2
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, term: Term | None = None, coefficient: complex = 1.0):
+        self.terms: dict[Term, complex] = {}
+        if term is not None:
+            self.terms[_validate_term(tuple(term))] = complex(coefficient)
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "QubitOperator":
+        return cls()
+
+    @classmethod
+    def identity(cls, coefficient: complex = 1.0) -> "QubitOperator":
+        return cls((), coefficient)
+
+    @classmethod
+    def from_terms(cls, terms: dict[Term, complex]) -> "QubitOperator":
+        op = cls()
+        for t, c in terms.items():
+            op.terms[_validate_term(t)] = complex(c)
+        return op
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.terms)
+
+    def max_qubit(self) -> int:
+        """Highest qubit index touched, or -1 for identity/zero."""
+        mq = -1
+        for t in self.terms:
+            if t:
+                mq = max(mq, t[-1][0])
+        return mq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QubitOperator):
+            return NotImplemented
+        keys = set(self.terms) | set(other.terms)
+        return all(
+            abs(self.terms.get(k, 0) - other.terms.get(k, 0)) < 1e-10 for k in keys
+        )
+
+    def __hash__(self):  # pragma: no cover - mutable, defensive
+        raise TypeError("QubitOperator is unhashable")
+
+    # -- algebra ---------------------------------------------------------
+
+    def __add__(self, other: "QubitOperator | Number") -> "QubitOperator":
+        out = self.copy()
+        out += other
+        return out
+
+    def __iadd__(self, other: "QubitOperator | Number") -> "QubitOperator":
+        if isinstance(other, Number):
+            other = QubitOperator.identity(complex(other))
+        for t, c in other.terms.items():
+            self.terms[t] = self.terms.get(t, 0) + c
+        return self
+
+    def __radd__(self, other: Number) -> "QubitOperator":
+        return self + other
+
+    def __sub__(self, other: "QubitOperator | Number") -> "QubitOperator":
+        return self + (other * -1 if isinstance(other, QubitOperator) else -other)
+
+    def __neg__(self) -> "QubitOperator":
+        return self * -1
+
+    def __mul__(self, other: "QubitOperator | Number") -> "QubitOperator":
+        if isinstance(other, Number):
+            out = QubitOperator()
+            out.terms = {t: c * complex(other) for t, c in self.terms.items()}
+            return out
+        out = QubitOperator()
+        acc = out.terms
+        for t1, c1 in self.terms.items():
+            for t2, c2 in other.terms.items():
+                phase, t = _multiply_terms(t1, t2)
+                acc[t] = acc.get(t, 0) + phase * c1 * c2
+        return out
+
+    def __rmul__(self, other: Number) -> "QubitOperator":
+        return self * other
+
+    def hermitian_conjugate(self) -> "QubitOperator":
+        """Pauli strings are Hermitian, so this just conjugates coefficients."""
+        out = QubitOperator()
+        out.terms = {t: c.conjugate() for t, c in self.terms.items()}
+        return out
+
+    def copy(self) -> "QubitOperator":
+        out = QubitOperator()
+        out.terms = dict(self.terms)
+        return out
+
+    def compress(self, atol: float = 1e-12) -> "QubitOperator":
+        """Drop terms with |coefficient| < atol (in place); returns self."""
+        self.terms = {t: c for t, c in self.terms.items() if abs(c) >= atol}
+        return self
+
+    def is_hermitian(self, atol: float = 1e-10) -> bool:
+        return all(abs(c.imag) < atol for c in self.terms.values())
+
+    # -- conversions -----------------------------------------------------
+
+    def to_matrix(self, n_qubits: int | None = None) -> np.ndarray:
+        """Dense ``2^n x 2^n`` matrix (tests / tiny systems only)."""
+        if n_qubits is None:
+            n_qubits = self.max_qubit() + 1
+        n_qubits = max(n_qubits, 1)
+        if n_qubits > 12:
+            raise MemoryError("to_matrix limited to 12 qubits")
+        dim = 2**n_qubits
+        out = np.zeros((dim, dim), dtype=complex)
+        for term, coeff in self.terms.items():
+            letters = ["I"] * n_qubits
+            for q, p in term:
+                if q >= n_qubits:
+                    raise ValueError(f"term touches qubit {q} >= n_qubits={n_qubits}")
+                letters[q] = p
+            m = np.array([[1.0 + 0j]])
+            for ch in letters:
+                m = np.kron(m, _PAULI_MATS[ch])
+            out += coeff * m
+        return out
+
+    def to_char_matrix(self, n_qubits: int) -> tuple[np.ndarray, np.ndarray]:
+        """Export terms as a ``(n_terms, n_qubits)`` char-code matrix plus
+        coefficient vector — the bridge into :class:`repro.pauli.PauliSet`."""
+        from repro.pauli.encoding import CHAR_TO_CODE
+
+        chars = np.zeros((len(self.terms), n_qubits), dtype=np.uint8)
+        coeffs = np.zeros(len(self.terms), dtype=complex)
+        for row, (term, coeff) in enumerate(self.terms.items()):
+            for q, p in term:
+                if q >= n_qubits:
+                    raise ValueError(f"term touches qubit {q} >= n_qubits={n_qubits}")
+                chars[row, q] = CHAR_TO_CODE[p]
+            coeffs[row] = coeff
+        return chars, coeffs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.terms:
+            return "QubitOperator(0)"
+        parts = []
+        for t, c in sorted(self.terms.items())[:4]:
+            label = " ".join(f"{p}{q}" for q, p in t) or "I"
+            parts.append(f"({c:.4g}) {label}")
+        more = f" ... +{len(self.terms) - 4} terms" if len(self.terms) > 4 else ""
+        return "QubitOperator(" + " + ".join(parts) + more + ")"

@@ -1,0 +1,223 @@
+"""Command-line interface.
+
+Subcommands mirror the workflows of the paper's evaluation:
+
+- ``census``   — Table II dataset census for a suite tier;
+- ``generate`` — molecule -> Pauli-set text file;
+- ``color``    — color a Pauli-set file (Picasso or a baseline) and
+  report colors / memory / iterations;
+- ``sweep``    — (P', alpha) grid sweep with the Eq. 7 optima per beta;
+- ``taper``    — Z2 symmetries and qubit tapering for a molecule.
+
+Entry point: ``repro-picasso`` (or ``python -m repro.cli``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from repro.datasets import load_molecule, suite_specs
+    from repro.graphs import anticommute_edge_count
+
+    print(f"{'molecule':<16} {'qubits':>7} {'terms':>9} {'anticommute edges':>18}")
+    for spec in suite_specs(args.tier):
+        ps = load_molecule(spec.name)
+        m = anticommute_edge_count(ps)
+        print(f"{spec.name:<16} {ps.n_qubits:>7} {ps.n:>9,} {m:>18,}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.chemistry import hn_pauli_set
+    from repro.pauli import save_pauli_set
+
+    ps = hn_pauli_set(args.atoms, args.dim, args.basis, transform=args.transform)
+    save_pauli_set(ps, args.output)
+    print(f"wrote {ps.n} Pauli strings over {ps.n_qubits} qubits to {args.output}")
+    return 0
+
+
+def _make_params(args: argparse.Namespace):
+    from repro.core import PicassoParams, aggressive_params, normal_params
+
+    if args.preset == "normal":
+        base = normal_params()
+    elif args.preset == "aggressive":
+        base = aggressive_params()
+    else:
+        base = PicassoParams()
+    overrides = {}
+    if args.palette_percent is not None:
+        overrides["palette_fraction"] = args.palette_percent / 100.0
+    if args.alpha is not None:
+        overrides["alpha"] = args.alpha
+    return base.with_(**overrides)
+
+
+def _cmd_color(args: argparse.Namespace) -> int:
+    from repro.core import Picasso
+    from repro.core.sources import PauliComplementSource
+    from repro.memory import bytes_human
+    from repro.pauli import load_pauli_set
+
+    ps = load_pauli_set(args.input)
+    print(f"input: {ps.n} strings, {ps.n_qubits} qubits")
+    if args.algorithm == "picasso":
+        result = Picasso(params=_make_params(args), seed=args.seed).color(ps)
+        extra = f", {result.n_iterations} iterations, max |Ec| {result.max_conflict_edges:,}"
+    else:
+        from repro.coloring import (
+            greedy_coloring,
+            jones_plassmann_ldf,
+            speculative_coloring,
+        )
+        from repro.graphs import complement_graph
+
+        g = complement_graph(ps)
+        if args.algorithm.startswith("greedy-"):
+            result = greedy_coloring(g, args.algorithm.split("-", 1)[1], seed=args.seed)
+        elif args.algorithm == "jp":
+            result = jones_plassmann_ldf(g, seed=args.seed)
+        else:
+            result = speculative_coloring(g, seed=args.seed)
+        extra = ""
+    if args.validate:
+        ok = PauliComplementSource(ps).validate(result.colors)
+        if not ok:
+            print("INVALID coloring", file=sys.stderr)
+            return 1
+        extra += ", validated"
+    print(
+        f"{result.algorithm}: {result.n_colors} colors "
+        f"({result.color_percentage():.1f}% of |V|), "
+        f"peak memory {bytes_human(result.peak_bytes)}, "
+        f"{result.elapsed_s:.2f}s{extra}"
+    )
+    if args.output:
+        np.savetxt(args.output, result.colors, fmt="%d")
+        print(f"colors written to {args.output}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.pauli import load_pauli_set
+    from repro.predict import optimal_frontier, run_sweep
+
+    ps = load_pauli_set(args.input)
+    points = run_sweep(
+        ps,
+        palette_percents=tuple(args.palette_percents),
+        alphas=tuple(args.alphas),
+        seed=args.seed,
+    )
+    print(f"{'P%':>6} {'alpha':>6} {'colors':>7} {'max|Ec|':>10} {'time s':>7}")
+    for p in points:
+        print(
+            f"{p.palette_percent:>6.1f} {p.alpha:>6.1f} {p.n_colors:>7} "
+            f"{p.max_conflict_edges:>10,} {p.elapsed_s:>7.2f}"
+        )
+    print("\nEq. 7 optima:")
+    for beta, best in optimal_frontier(points):
+        print(
+            f"  beta={beta:.1f}: P'={best.palette_percent}% alpha={best.alpha} "
+            f"({best.n_colors} colors, {best.max_conflict_edges:,} conflict edges)"
+        )
+    return 0
+
+
+def _cmd_taper(args: argparse.Namespace) -> int:
+    from repro.chemistry import (
+        find_z2_symmetries,
+        hydrogen_cluster,
+        molecular_qubit_operator,
+        taper_qubits,
+    )
+
+    geom = hydrogen_cluster(args.atoms, args.dim, args.basis)
+    qop = molecular_qubit_operator(geom)
+    n = geom.n_spin_orbitals
+    gens = find_z2_symmetries(qop, n)
+    print(f"{geom.name}: {n} qubits, {qop.n_terms} terms, {len(gens)} Z2 symmetries")
+    for g in gens:
+        term = next(iter(g.terms))
+        print("  " + (" ".join(f"{p}{q}" for q, p in term) or "I"))
+    try:
+        result = taper_qubits(qop, n, generators=gens)
+    except ValueError as exc:
+        print(f"tapering not applicable: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"tapered to {result.n_qubits_after} qubits "
+        f"(removed {result.removed_qubits}), {result.operator.n_terms} terms"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-picasso",
+        description="Picasso: memory-efficient palette-based graph coloring",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("census", help="dataset census (Table II)")
+    p.add_argument("--tier", default="small", choices=["small", "medium", "large"])
+    p.set_defaults(func=_cmd_census)
+
+    p = sub.add_parser("generate", help="molecule -> Pauli-set file")
+    p.add_argument("--atoms", type=int, required=True)
+    p.add_argument("--dim", type=int, default=1, choices=[1, 2, 3])
+    p.add_argument("--basis", default="sto3g", choices=["sto3g", "631g", "6311g"])
+    p.add_argument("--transform", default="jordan_wigner",
+                   choices=["jordan_wigner", "bravyi_kitaev"])
+    p.add_argument("--output", "-o", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("color", help="color a Pauli-set file")
+    p.add_argument("input")
+    p.add_argument(
+        "--algorithm",
+        default="picasso",
+        choices=[
+            "picasso", "greedy-lf", "greedy-sl", "greedy-dlf", "greedy-id",
+            "greedy-natural", "greedy-random", "jp", "speculative",
+        ],
+    )
+    p.add_argument("--preset", default="default",
+                   choices=["default", "normal", "aggressive"])
+    p.add_argument("--palette-percent", type=float, default=None)
+    p.add_argument("--alpha", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--validate", action="store_true")
+    p.add_argument("--output", "-o", default=None, help="write per-vertex colors")
+    p.set_defaults(func=_cmd_color)
+
+    p = sub.add_parser("sweep", help="(P', alpha) grid sweep with Eq. 7 optima")
+    p.add_argument("input")
+    p.add_argument("--palette-percents", type=float, nargs="+",
+                   default=[2.5, 5.0, 10.0, 15.0])
+    p.add_argument("--alphas", type=float, nargs="+", default=[1.0, 2.0, 4.0])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("taper", help="Z2 symmetries + qubit tapering")
+    p.add_argument("--atoms", type=int, required=True)
+    p.add_argument("--dim", type=int, default=1, choices=[1, 2, 3])
+    p.add_argument("--basis", default="sto3g", choices=["sto3g", "631g", "6311g"])
+    p.set_defaults(func=_cmd_taper)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Baseline coloring algorithms (paper §III, §VII comparisons).
+
+- :func:`greedy_coloring` — sequential greedy under six orderings
+  (the ColPack analog);
+- :func:`jones_plassmann_ldf` — JP with LDF priorities (the ECL-GC-R
+  analog);
+- :func:`speculative_coloring` — edge-based speculative iteration
+  (the Kokkos-EB analog).
+
+All baselines require the explicit graph in memory; their
+``peak_bytes`` expose the Table IV accounting.
+"""
+
+from repro.coloring.base import ColoringResult, smallest_available_color
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.jones_plassmann import jones_plassmann_ldf
+from repro.coloring.ordering import (
+    ALL_ORDERS,
+    DYNAMIC_ORDERS,
+    STATIC_ORDERS,
+    degeneracy,
+    largest_first_order,
+    natural_order,
+    random_order,
+    smallest_last_order,
+    static_order,
+)
+from repro.coloring.luby import luby_coloring, luby_mis
+from repro.coloring.recolor import iterated_greedy
+from repro.coloring.speculative import speculative_coloring
+
+__all__ = [
+    "ColoringResult",
+    "smallest_available_color",
+    "greedy_coloring",
+    "jones_plassmann_ldf",
+    "ALL_ORDERS",
+    "DYNAMIC_ORDERS",
+    "STATIC_ORDERS",
+    "degeneracy",
+    "largest_first_order",
+    "natural_order",
+    "random_order",
+    "smallest_last_order",
+    "static_order",
+    "speculative_coloring",
+    "luby_coloring",
+    "luby_mis",
+    "iterated_greedy",
+]

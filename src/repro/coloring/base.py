@@ -1,0 +1,75 @@
+"""Common result type and helpers for coloring algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ColoringResult:
+    """Outcome of a coloring run.
+
+    Attributes
+    ----------
+    colors:
+        ``int64[n]`` color per vertex; always a proper coloring on
+        return (algorithms raise otherwise).
+    algorithm:
+        Label, e.g. ``"greedy-DLF"`` or ``"picasso"``.
+    peak_bytes:
+        Analytic peak of graph + auxiliary structures (Table IV
+        accounting).  Zero when not tracked.
+    stats:
+        Free-form per-algorithm counters (rounds, conflicts, ...).
+    """
+
+    colors: np.ndarray
+    algorithm: str
+    peak_bytes: int = 0
+    elapsed_s: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def n_colors(self) -> int:
+        """Number of distinct colors used."""
+        if self.colors.size == 0:
+            return 0
+        return int(len(np.unique(self.colors[self.colors >= 0])))
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.colors.shape[0])
+
+    def color_percentage(self) -> float:
+        """Paper metric: ``C / |V| * 100`` — the shrink factor of Pauli
+        strings into unitaries."""
+        if self.n_vertices == 0:
+            return 0.0
+        return 100.0 * self.n_colors / self.n_vertices
+
+    def color_classes(self) -> list[np.ndarray]:
+        """Vertices grouped by color (the cliques / unitaries of Eq. 1)."""
+        order = np.argsort(self.colors, kind="stable")
+        sorted_colors = self.colors[order]
+        boundaries = np.nonzero(np.diff(sorted_colors))[0] + 1
+        return np.split(order, boundaries)
+
+
+def smallest_available_color(forbidden: np.ndarray) -> int:
+    """Smallest non-negative integer not present in ``forbidden``.
+
+    ``forbidden`` may contain -1 entries (uncolored neighbors); they are
+    ignored.  Vectorized: a boolean presence table of size
+    ``len(forbidden) + 1`` suffices because the answer is at most the
+    number of forbidden colors.
+    """
+    valid = forbidden[forbidden >= 0]
+    if valid.size == 0:
+        return 0
+    limit = valid.size + 1
+    present = np.zeros(limit + 1, dtype=bool)
+    small = valid[valid <= limit]
+    present[small] = True
+    return int(np.nonzero(~present)[0][0])

@@ -1,0 +1,91 @@
+"""Jones–Plassmann parallel coloring with LDF priorities (ECL-GC-R analog).
+
+JP colors a maximal independent set of "local maxima" per round: a
+vertex whose priority exceeds every *uncolored* neighbor's picks the
+smallest color not used by its colored neighbors.  With Largest-Degree-
+First priorities (degree, random tie-break) this is the algorithm
+underlying ECL-GC (Alabandi & Burtscher), whose shortcutting/reduction
+heuristics accelerate convergence without changing the color count —
+so the analog reproduces ECL-GC-R's *quality* and round structure.
+
+The simulation is data-parallel over NumPy arrays per round, mirroring
+one GPU kernel launch per round.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.coloring.base import ColoringResult, smallest_available_color
+from repro.graphs.csr import CSRGraph
+from repro.util.rng import as_generator
+
+
+def jones_plassmann_ldf(
+    graph: CSRGraph,
+    seed: int | np.random.Generator | None = None,
+    max_rounds: int | None = None,
+) -> ColoringResult:
+    """Color ``graph`` with Jones–Plassmann + LDF priorities.
+
+    Parameters
+    ----------
+    max_rounds:
+        Safety valve; default ``n + 1`` (JP terminates in O(log n)
+        expected rounds, far earlier).
+    """
+    rng = as_generator(seed)
+    n = graph.n_vertices
+    t0 = time.perf_counter()
+    colors = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return ColoringResult(colors, "jp-ldf")
+    # LDF priority: degree first, random tie-break. Encode as a single
+    # float key: degree + U(0,1).
+    priority = graph.degree().astype(np.float64) + rng.random(n)
+    if max_rounds is None:
+        max_rounds = n + 1
+
+    # Active arc list: arcs whose endpoints are both uncolored. Arcs
+    # with a colored endpoint can never block again, so the list only
+    # shrinks — on dense graphs (hundreds of rounds) this is the
+    # difference between O(rounds * |E|) and near-linear total work.
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.offsets))
+    dst = graph.targets.astype(np.int64)
+    rounds = 0
+    for _ in range(max_rounds):
+        uncolored = colors < 0
+        if not uncolored.any():
+            break
+        rounds += 1
+        live = uncolored[src] & uncolored[dst]
+        src = src[live]
+        dst = dst[live]
+        # A vertex is a local max if no uncolored neighbor has higher
+        # priority under a strict total order (priority, vertex id).
+        blocked = np.zeros(n, dtype=bool)
+        lose = (priority[src] < priority[dst]) | (
+            (priority[src] == priority[dst]) & (src < dst)
+        )
+        blocked[src[lose]] = True
+        winners = np.nonzero(uncolored & ~blocked)[0]
+        # Winners form an independent set in the uncolored subgraph, so
+        # they can all pick colors "in parallel" against the colored set.
+        for v in winners:
+            colors[v] = smallest_available_color(colors[graph.neighbors(v)])
+    else:  # pragma: no cover - max_rounds is a safety valve
+        raise RuntimeError("jones_plassmann_ldf failed to converge")
+    elapsed = time.perf_counter() - t0
+    # Memory: CSR + priority + colors + per-round blocked/worklist arrays.
+    peak = (
+        graph.nbytes + priority.nbytes + colors.nbytes + n + 2 * len(graph.targets)
+    )
+    return ColoringResult(
+        colors=colors,
+        algorithm="jp-ldf",
+        peak_bytes=int(peak),
+        elapsed_s=elapsed,
+        stats={"rounds": rounds},
+    )

@@ -1,0 +1,90 @@
+"""Iterated-greedy recoloring (Culberson-style quality improver).
+
+Re-running greedy with the vertices grouped by their current color
+classes can never increase the color count and frequently decreases it
+(each class stays an independent set, so its members may only inherit
+colors of earlier classes).  Class orders cycled per round: reverse,
+largest-class-first, random.
+
+This is a post-processing ablation: the paper leaves coloring quality
+to parameter choice, and this pass quantifies how much a cheap
+classical cleanup adds on top of any base algorithm.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.coloring.base import ColoringResult, smallest_available_color
+from repro.graphs.csr import CSRGraph
+from repro.util.rng import as_generator
+
+
+def _greedy_in_order(graph: CSRGraph, perm: np.ndarray) -> np.ndarray:
+    colors = np.full(graph.n_vertices, -1, dtype=np.int64)
+    for v in perm:
+        colors[v] = smallest_available_color(colors[graph.neighbors(v)])
+    return colors
+
+
+def _class_order(colors: np.ndarray, class_perm: np.ndarray) -> np.ndarray:
+    """Vertex permutation visiting color classes in ``class_perm`` order."""
+    out = []
+    for c in class_perm:
+        out.append(np.nonzero(colors == c)[0])
+    return np.concatenate(out)
+
+
+def iterated_greedy(
+    graph: CSRGraph,
+    initial: ColoringResult,
+    rounds: int = 10,
+    seed: int | np.random.Generator | None = None,
+) -> ColoringResult:
+    """Improve ``initial`` by class-ordered greedy passes.
+
+    Parameters
+    ----------
+    rounds:
+        Recoloring passes; class order cycles reverse ->
+        largest-first -> random.
+
+    Returns
+    -------
+    A :class:`ColoringResult` with ``n_colors <= initial.n_colors``
+    (monotonicity is guaranteed and asserted).
+    """
+    rng = as_generator(seed)
+    t0 = time.perf_counter()
+    colors = initial.colors.copy()
+    if (colors < 0).any():
+        raise ValueError("initial coloring is incomplete")
+    best = int(len(np.unique(colors)))
+    for r in range(rounds):
+        # Compact color ids so class enumeration stays dense.
+        _, colors = np.unique(colors, return_inverse=True)
+        k = int(colors.max()) + 1
+        if r % 3 == 0:
+            class_perm = np.arange(k)[::-1]
+        elif r % 3 == 1:
+            sizes = np.bincount(colors, minlength=k)
+            class_perm = np.argsort(-sizes, kind="stable")
+        else:
+            class_perm = rng.permutation(k)
+        perm = _class_order(colors, class_perm)
+        new_colors = _greedy_in_order(graph, perm)
+        new_k = int(new_colors.max()) + 1
+        if new_k > best:  # pragma: no cover - theory says impossible
+            raise AssertionError("iterated greedy increased the color count")
+        colors = new_colors
+        best = new_k
+    elapsed = time.perf_counter() - t0
+    return ColoringResult(
+        colors=colors,
+        algorithm=f"{initial.algorithm}+ig",
+        peak_bytes=initial.peak_bytes,
+        elapsed_s=initial.elapsed_s + elapsed,
+        stats={**initial.stats, "ig_rounds": rounds, "ig_final": best},
+    )

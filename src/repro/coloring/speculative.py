@@ -1,0 +1,98 @@
+"""Speculative iterative coloring (Kokkos-EB analog).
+
+The edge-based speculative scheme of Deveci et al. / Bogle et al.
+(kokkos-kernels' ``COLORING_EB``): every uncolored vertex tentatively
+takes the smallest color not *currently* forbidden; a conflict-
+detection sweep over the **edge list** then uncolors the lower-priority
+endpoint of every monochrome edge, and the loop repeats.
+
+Edge-based conflict detection is why Kokkos-EB is the fastest *and* the
+most memory-hungry baseline in the paper (Table IV, Fig. 4): it keeps a
+full edge list plus per-vertex forbidden bitmaps resident.  The analog
+reproduces both behaviours: rounds are whole-array NumPy operations
+(one kernel launch each) and ``peak_bytes`` counts the same structures.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.coloring.base import ColoringResult, smallest_available_color
+from repro.graphs.csr import CSRGraph
+from repro.util.rng import as_generator
+
+
+def speculative_coloring(
+    graph: CSRGraph,
+    seed: int | np.random.Generator | None = None,
+    max_rounds: int | None = None,
+) -> ColoringResult:
+    """Edge-based speculative coloring.
+
+    Parameters
+    ----------
+    max_rounds:
+        Safety valve; the expected round count is O(log n).
+    """
+    rng = as_generator(seed)
+    n = graph.n_vertices
+    t0 = time.perf_counter()
+    colors = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return ColoringResult(colors, "speculative-eb")
+    if max_rounds is None:
+        max_rounds = n + 1
+
+    edges = graph.edges()  # the resident edge list (the memory hog)
+    eu = edges[:, 0].astype(np.int64)
+    ev = edges[:, 1].astype(np.int64)
+    # Random priorities resolve conflicts symmetrically.
+    priority = rng.permutation(n)
+
+    rounds = 0
+    total_conflicts = 0
+    worklist = np.arange(n, dtype=np.int64)
+    for _ in range(max_rounds):
+        if worklist.size == 0:
+            break
+        rounds += 1
+        # Speculative phase: each worklist vertex picks the smallest
+        # color not used by any neighbor *right now* (stale reads allowed
+        # in the real parallel version; here sequential-consistent reads
+        # still produce conflicts because worklist vertices are mutually
+        # unaware of each other's simultaneous picks).
+        snapshot = colors.copy()
+        for v in worklist:
+            forb = snapshot[graph.neighbors(v)]
+            colors[v] = smallest_available_color(forb)
+        # Edge-based conflict detection: monochrome edges lose their
+        # lower-priority endpoint.
+        bad = colors[eu] == colors[ev]
+        bad &= colors[eu] >= 0
+        losers = np.where(priority[eu[bad]] < priority[ev[bad]], eu[bad], ev[bad])
+        losers = np.unique(losers)
+        total_conflicts += int(losers.size)
+        colors[losers] = -1
+        worklist = losers
+    else:  # pragma: no cover - safety valve
+        raise RuntimeError("speculative_coloring failed to converge")
+    elapsed = time.perf_counter() - t0
+    # Memory: CSR + full edge list + priorities + colors + conflict masks.
+    peak = (
+        graph.nbytes
+        + edges.nbytes
+        + eu.nbytes
+        + ev.nbytes
+        + priority.nbytes
+        + 2 * colors.nbytes
+        + len(eu)
+    )
+    return ColoringResult(
+        colors=colors,
+        algorithm="speculative-eb",
+        peak_bytes=int(peak),
+        elapsed_s=elapsed,
+        stats={"rounds": rounds, "conflicts": total_conflicts},
+    )

@@ -1,0 +1,87 @@
+"""Closed-form predictors from the paper's analysis (§IV-C, Lemma 2).
+
+These formulas predict the conflict-graph size before building it —
+used by the memory model (how big a COO buffer will Algorithm 3 need?)
+and checked empirically by the property tests.
+
+For two independent uniform ``L``-subsets of a palette of size ``P``,
+the exact intersection probability is
+
+    p_share = 1 - C(P-L, L) / C(P, L)
+
+and Lemma 2 follows from the union bound ``p_share <= L^2 / P``:
+
+- expected conflict degree of v:      delta(v) * p_share
+- expected conflict edges:            |E| * p_share
+- Lemma 2.2's high-probability bound: O(log^3 n) max degree when
+  Delta / P = O(log n) and L = O(log n).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def list_share_probability(palette_size: int, list_size: int) -> float:
+    """Exact P(two uniform L-subsets of [P] intersect).
+
+    Computed in log space to stay stable for large arguments:
+    ``C(P-L, L) / C(P, L) = prod_{k=0}^{L-1} (P-L-k) / (P-k)``.
+    """
+    if list_size > palette_size:
+        raise ValueError("list_size cannot exceed palette_size")
+    if 2 * list_size > palette_size:
+        return 1.0  # pigeonhole: lists must overlap
+    log_miss = 0.0
+    for k in range(list_size):
+        log_miss += math.log(palette_size - list_size - k) - math.log(
+            palette_size - k
+        )
+    return 1.0 - math.exp(log_miss)
+
+
+def expected_conflict_degree(
+    degree: np.ndarray | float, palette_size: int, list_size: int
+) -> np.ndarray | float:
+    """Lemma 2.1: E[deg_Gc(v)] = deg_G(v) * p_share."""
+    return degree * list_share_probability(palette_size, list_size)
+
+
+def expected_conflict_edges(
+    n_edges: int, palette_size: int, list_size: int
+) -> float:
+    """Lemma 2.3 (exact form): E[|Ec|] = |E| * p_share."""
+    return n_edges * list_share_probability(palette_size, list_size)
+
+
+def share_probability_upper_bound(palette_size: int, list_size: int) -> float:
+    """The union bound L^2 / P used in the paper's O(.) statements."""
+    return min(1.0, list_size * list_size / palette_size)
+
+
+def sublinear_space_bound(n: int, alpha: float = 2.0) -> float:
+    """Lemma 2.2's conflict-edge scale ``n log^3 n`` (up to constants),
+    for plotting the theoretical envelope against measurements."""
+    if n < 2:
+        return 0.0
+    return n * math.log(n) ** 3
+
+
+def predict_coo_bytes(
+    n: int,
+    n_edges: int,
+    palette_size: int,
+    list_size: int,
+    id_bytes: int = 4,
+    safety: float = 3.0,
+) -> int:
+    """Predict the COO buffer Algorithm 3 should pre-allocate.
+
+    ``safety`` is the multiplicative headroom over the expectation
+    (the paper instead trains an ML predictor — see
+    :mod:`repro.predict` — but this closed form is the fallback).
+    """
+    exp_edges = expected_conflict_edges(n_edges, palette_size, list_size)
+    return int(2 * id_bytes * safety * max(exp_edges, 1.0))

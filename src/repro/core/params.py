@@ -1,0 +1,84 @@
+"""Picasso parameters (paper Table I) and the paper's two presets."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class PicassoParams:
+    """The two knobs of the trade-off (§IV, §VII-D) plus run controls.
+
+    Attributes
+    ----------
+    palette_fraction:
+        ``P`` as a fraction of the current vertex count (the paper's
+        percentile palette size ``P' / 100``).  Smaller -> fewer final
+        colors, more conflict edges, more work.
+    alpha:
+        List-size coefficient: ``L = max(1, round(alpha * ln |V|))``,
+        capped at the palette size.  Larger -> better colorability of
+        the conflict graph, more conflict edges.
+    conflict_order:
+        How to color the conflict graph: ``"dynamic"`` (Algorithm 2,
+        the paper's choice) or a static list order
+        (``"natural" | "random" | "lf"``).
+    max_iterations:
+        Safety valve on the outer loop of Algorithm 1.
+    grow_on_stall:
+        If an iteration colors nothing, multiply the palette fraction
+        by this factor for subsequent iterations (implementation detail
+        guaranteeing termination; 1.0 disables).
+    chunk_size:
+        Pairs per kernel launch in conflict-graph construction.
+    """
+
+    palette_fraction: float = 0.125
+    alpha: float = 2.0
+    conflict_order: str = "dynamic"
+    max_iterations: int = 200
+    grow_on_stall: float = 2.0
+    chunk_size: int = 1 << 18
+    min_palette: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.palette_fraction <= 1.0:
+            raise ValueError("palette_fraction must be in (0, 1]")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.conflict_order not in ("dynamic", "natural", "random", "lf"):
+            raise ValueError(f"unknown conflict_order {self.conflict_order!r}")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.grow_on_stall < 1.0:
+            raise ValueError("grow_on_stall must be >= 1.0")
+
+    def palette_size(self, n_active: int) -> int:
+        """``P_l`` for the current subproblem size."""
+        return max(self.min_palette, round(self.palette_fraction * n_active))
+
+    def list_size(self, n_active: int) -> int:
+        """``L_l = alpha * ln |V|``, at least 1, at most the palette."""
+        if n_active <= 1:
+            return 1
+        raw = max(1, round(self.alpha * math.log(n_active)))
+        return min(raw, self.palette_size(n_active))
+
+    def with_(self, **kwargs) -> "PicassoParams":
+        """Functional update."""
+        return replace(self, **kwargs)
+
+
+def normal_params(**overrides) -> PicassoParams:
+    """The paper's "Normal" configuration: P = 12.5%, alpha = 2."""
+    return PicassoParams(palette_fraction=0.125, alpha=2.0).with_(**overrides)
+
+
+def aggressive_params(**overrides) -> PicassoParams:
+    """The paper's "Aggressive" configuration: P = 3%, alpha = 30.
+
+    Large lists over a small palette chase minimum colors at the cost
+    of a much denser conflict graph (Table III vs Table IV).
+    """
+    return PicassoParams(palette_fraction=0.03, alpha=30.0).with_(**overrides)

@@ -1,0 +1,275 @@
+"""Picasso driver — Algorithm 1 of the paper.
+
+Iteratively: assign random candidate-color lists from a fresh palette,
+materialize only the *conflicted* edges, color unconflicted vertices
+immediately, list-color the conflict graph (Algorithm 2), and recurse
+on whatever stayed uncolored.  Colors are never reused across
+iterations (iteration ``l`` draws from ``[(l-1)P, lP)``), so the union
+of per-iteration colorings is proper by construction.
+
+The input graph is never stored: a *source* (see
+:mod:`repro.core.sources`) answers vectorized edge queries on the fly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coloring.base import ColoringResult
+from repro.core.conflict import build_conflict_graph
+from repro.core.list_coloring import (
+    greedy_list_color_dynamic,
+    greedy_list_color_static,
+)
+from repro.core.palette import assign_color_lists, lists_nbytes
+from repro.core.params import PicassoParams
+from repro.core.sources import ExplicitGraphSource, PauliComplementSource
+from repro.device.csr_build import build_conflict_csr
+from repro.device.sim import DeviceSim
+from repro.graphs.csr import CSRGraph
+from repro.graphs.ops import induced_subgraph
+from repro.pauli.strings import PauliSet
+from repro.util.rng import as_generator
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration telemetry (feeds Figs. 2, 3, 5 and Table V)."""
+
+    iteration: int
+    n_active: int
+    palette_size: int
+    list_size: int
+    n_conflict_vertices: int
+    n_conflict_edges: int
+    n_colored: int
+    n_uncolored: int
+    assign_s: float
+    conflict_build_s: float
+    conflict_color_s: float
+    peak_bytes: int
+    built_on_device: bool | None = None
+
+
+@dataclass
+class PicassoResult(ColoringResult):
+    """ColoringResult plus the iteration trace."""
+
+    iterations: list[IterationStats] = field(default_factory=list)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def max_conflict_edges(self) -> int:
+        """``max_l |Ec|`` — the paper's memory-pressure metric (Fig. 2)."""
+        if not self.iterations:
+            return 0
+        return max(s.n_conflict_edges for s in self.iterations)
+
+    def phase_times(self) -> dict[str, float]:
+        """Cumulative seconds per phase (Fig. 3 breakdown)."""
+        return {
+            "assignment": sum(s.assign_s for s in self.iterations),
+            "conflict_graph": sum(s.conflict_build_s for s in self.iterations),
+            "conflict_coloring": sum(s.conflict_color_s for s in self.iterations),
+        }
+
+
+class Picasso:
+    """Palette-based memory-efficient graph coloring.
+
+    Parameters
+    ----------
+    params:
+        Algorithm knobs (palette fraction, alpha, ...); defaults to the
+        paper's Normal configuration.
+    device:
+        Optional :class:`DeviceSim`.  When given, conflict graphs are
+        built through Algorithm 3 against the device budget (raising
+        :class:`DeviceOutOfMemory` exactly where a real 40 GB GPU
+        would); otherwise the host path is used.
+    seed:
+        Seeds list assignment and Algorithm 2's tie-breaking.
+
+    Examples
+    --------
+    >>> from repro.pauli import random_pauli_set
+    >>> ps = random_pauli_set(100, 6, seed=0)
+    >>> result = Picasso(seed=1).color(ps)
+    >>> result.n_colors <= 100
+    True
+    """
+
+    def __init__(
+        self,
+        params: PicassoParams | None = None,
+        device: DeviceSim | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.params = params or PicassoParams()
+        self.device = device
+        self.rng = as_generator(seed)
+
+    # -- public API ------------------------------------------------------
+
+    def color(self, target: PauliSet | CSRGraph) -> PicassoResult:
+        """Color a Pauli set (streaming complement) or explicit graph."""
+        if isinstance(target, PauliSet):
+            source = PauliComplementSource(target)
+        elif isinstance(target, CSRGraph):
+            source = ExplicitGraphSource(target)
+        else:
+            raise TypeError(
+                f"expected PauliSet or CSRGraph, got {type(target).__name__}"
+            )
+        return self.color_source(source)
+
+    def color_source(self, source) -> PicassoResult:
+        """Algorithm 1 over any edge source."""
+        t_start = time.perf_counter()
+        params = self.params
+        n_total = source.n
+        colors = np.full(n_total, -1, dtype=np.int64)
+        active = np.arange(n_total, dtype=np.int64)
+        active_source = source
+        base_color = 0
+        palette_fraction = params.palette_fraction
+        iterations: list[IterationStats] = []
+        peak_bytes = 0
+
+        for it in range(1, params.max_iterations + 1):
+            n = len(active)
+            if n == 0:
+                break
+            palette = max(params.min_palette, round(palette_fraction * n))
+            # L = alpha * ln|V| (Table I), capped at the current palette.
+            raw_list = max(1, round(params.alpha * np.log(n))) if n > 1 else 1
+            list_size = min(raw_list, palette)
+
+            # Line 6: random candidate lists from a fresh palette.
+            t0 = time.perf_counter()
+            col_lists, colmasks = assign_color_lists(
+                n, palette, list_size, self.rng
+            )
+            t_assign = time.perf_counter() - t0
+
+            # Line 7: conflict graph (only conflicted edges materialize).
+            t0 = time.perf_counter()
+            built_on_device: bool | None = None
+            if self.device is not None:
+                gc, build_stats = build_conflict_csr(
+                    n,
+                    active_source.edge_mask,
+                    colmasks,
+                    self.device,
+                    chunk_size=params.chunk_size,
+                )
+                n_conf_edges = build_stats.n_conflict_edges
+                built_on_device = build_stats.built_on_device
+            else:
+                gc, n_conf_edges = build_conflict_graph(
+                    n,
+                    active_source.edge_mask,
+                    colmasks,
+                    chunk_size=params.chunk_size,
+                )
+            t_build = time.perf_counter() - t0
+
+            # Lines 8-9: color unconflicted vertices from their lists,
+            # then list-color the conflicted subgraph.
+            t0 = time.perf_counter()
+            local_colors = np.full(n, -1, dtype=np.int64)
+            degrees = gc.degree()
+            unconflicted = np.nonzero(degrees == 0)[0]
+            local_colors[unconflicted] = col_lists[unconflicted, 0]
+
+            conflicted = np.nonzero(degrees > 0)[0]
+            if len(conflicted):
+                sub_gc, _ = induced_subgraph(gc, conflicted)
+                sub_lists = col_lists[conflicted]
+                if params.conflict_order == "dynamic":
+                    sub_colors, sub_vu = greedy_list_color_dynamic(
+                        sub_gc, sub_lists, self.rng
+                    )
+                else:
+                    sub_colors, sub_vu = greedy_list_color_static(
+                        sub_gc, sub_lists, params.conflict_order, self.rng
+                    )
+                local_colors[conflicted] = sub_colors
+                vu_local = conflicted[sub_vu]
+            else:
+                vu_local = np.empty(0, dtype=np.int64)
+            t_color = time.perf_counter() - t0
+
+            # Commit global colors with the per-iteration offset.
+            colored_local = np.nonzero(local_colors >= 0)[0]
+            colors[active[colored_local]] = (
+                base_color + local_colors[colored_local]
+            )
+            base_color += palette
+
+            iter_peak = (
+                active_source.nbytes
+                + lists_nbytes(col_lists, colmasks)
+                + gc.nbytes
+                + colors.nbytes
+            )
+            peak_bytes = max(peak_bytes, iter_peak)
+            iterations.append(
+                IterationStats(
+                    iteration=it,
+                    n_active=n,
+                    palette_size=palette,
+                    list_size=list_size,
+                    n_conflict_vertices=int(len(conflicted)),
+                    n_conflict_edges=int(n_conf_edges),
+                    n_colored=int(len(colored_local)),
+                    n_uncolored=int(len(vu_local)),
+                    assign_s=t_assign,
+                    conflict_build_s=t_build,
+                    conflict_color_s=t_color,
+                    peak_bytes=int(iter_peak),
+                    built_on_device=built_on_device,
+                )
+            )
+
+            if len(vu_local) == 0:
+                active = np.empty(0, dtype=np.int64)
+                break
+            # Stall guard: widen the palette if nothing got colored.
+            if len(colored_local) == 0:
+                palette_fraction = min(
+                    1.0, palette_fraction * params.grow_on_stall
+                )
+            # Line 11: recurse on the uncolored subproblem.
+            active = active[vu_local]
+            active_source = active_source.subset(vu_local)
+        else:
+            raise RuntimeError(
+                f"Picasso did not converge in {params.max_iterations} iterations"
+            )
+
+        elapsed = time.perf_counter() - t_start
+        return PicassoResult(
+            colors=colors,
+            algorithm="picasso",
+            peak_bytes=int(peak_bytes),
+            elapsed_s=elapsed,
+            stats={"total_palette_colors": base_color},
+            iterations=iterations,
+        )
+
+
+def picasso_color(
+    target: PauliSet | CSRGraph,
+    params: PicassoParams | None = None,
+    device: DeviceSim | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> PicassoResult:
+    """Functional convenience wrapper around :class:`Picasso`."""
+    return Picasso(params=params, device=device, seed=seed).color(target)

@@ -1,0 +1,76 @@
+"""Dataset registry: the Table II molecule suite at reproduction scale.
+
+The paper evaluates on Hn clusters (n = 4..10; 1D/2D/3D; sto3g / 631g /
+6311g) spanning 8.7k to 2.1M Pauli strings.  This registry provides the
+same family, with the synthetic-integral pipeline keeping generation
+offline-friendly.  Sizes here run ~25 to ~27k strings; the small /
+medium / large tiers mirror the paper's classification by edge count.
+
+Pauli sets are generated lazily and cached in-process — the benchmarks
+sweep the suite repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.chemistry.hamiltonian import hn_pauli_set
+from repro.pauli.strings import PauliSet
+
+
+@dataclass(frozen=True)
+class MoleculeSpec:
+    """One suite entry: Hn geometry + basis and its size tier."""
+
+    n_atoms: int
+    dimensionality: int
+    basis: str
+    tier: str  # "small" | "medium" | "large"
+
+    @property
+    def name(self) -> str:
+        return f"H{self.n_atoms}_{self.dimensionality}D_{self.basis}"
+
+
+#: The suite, ordered roughly by problem size (paper Table II analog).
+MOLECULE_SUITE: tuple[MoleculeSpec, ...] = (
+    MoleculeSpec(2, 1, "sto3g", "small"),
+    MoleculeSpec(4, 3, "sto3g", "small"),
+    MoleculeSpec(4, 2, "sto3g", "small"),
+    MoleculeSpec(4, 1, "sto3g", "small"),
+    MoleculeSpec(6, 3, "sto3g", "small"),
+    MoleculeSpec(6, 2, "sto3g", "small"),
+    MoleculeSpec(6, 1, "sto3g", "small"),
+    MoleculeSpec(8, 3, "sto3g", "medium"),
+    MoleculeSpec(8, 2, "sto3g", "medium"),
+    MoleculeSpec(8, 1, "sto3g", "medium"),
+    MoleculeSpec(4, 2, "631g", "medium"),
+    MoleculeSpec(4, 1, "631g", "medium"),
+    MoleculeSpec(6, 1, "631g", "large"),
+)
+
+
+def suite_specs(tier: str | None = None) -> list[MoleculeSpec]:
+    """Specs, optionally filtered to one tier."""
+    if tier is None:
+        return list(MOLECULE_SUITE)
+    if tier not in ("small", "medium", "large"):
+        raise ValueError(f"unknown tier {tier!r}")
+    return [s for s in MOLECULE_SUITE if s.tier == tier]
+
+
+@lru_cache(maxsize=32)
+def load_molecule(name: str) -> PauliSet:
+    """Generate (or fetch from cache) a suite entry by name."""
+    for spec in MOLECULE_SUITE:
+        if spec.name == name:
+            return hn_pauli_set(spec.n_atoms, spec.dimensionality, spec.basis)
+    raise KeyError(
+        f"unknown molecule {name!r}; known: {[s.name for s in MOLECULE_SUITE]}"
+    )
+
+
+def molecule_suite(tier: str | None = "small") -> dict[str, PauliSet]:
+    """Load a whole tier (default small) as ``{name: PauliSet}``."""
+    return {s.name: load_molecule(s.name) for s in suite_specs(tier)}

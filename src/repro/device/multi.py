@@ -1,0 +1,113 @@
+"""Multi-device conflict-graph construction (paper future work, §VIII).
+
+The paper's stated next step is "distributed multi-GPU parallel
+implementations".  The natural decomposition is already in place: the
+conflict kernel's domain is the flat pair range, so ``k`` devices each
+own a contiguous 1/k slice of pair space.  Each device streams its
+slice into its own COO buffer (bounded by its own budget); the host
+concatenates the partial edge lists and assembles the global CSR.
+
+The aggregate capacity is the sum of the devices' budgets, so inputs
+that overflow one device complete on several — the property the tests
+pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.kernels import EdgeMaskFn, conflict_pair_kernel
+from repro.device.sim import DeviceOutOfMemory, DeviceSim
+from repro.graphs.csr import CSRGraph, from_edge_list
+from repro.parallel.partition import partition_pairs
+from repro.util.chunking import pair_index_to_ij
+
+
+@dataclass
+class MultiBuildStats:
+    """Per-device telemetry for a multi-device build."""
+
+    n_vertices: int
+    n_conflict_edges: int
+    edges_per_device: list[int]
+    peak_bytes_per_device: list[int]
+
+
+def build_conflict_csr_multi(
+    n: int,
+    edge_mask_fn: EdgeMaskFn,
+    colmasks: np.ndarray,
+    devices: list[DeviceSim],
+    chunk_size: int = 1 << 18,
+) -> tuple[CSRGraph, MultiBuildStats]:
+    """Build the conflict graph across several simulated devices.
+
+    Each device holds a replica of the encoded inputs (colmasks) plus a
+    COO buffer sized to its remaining budget, and scans a contiguous
+    slice of pair space.  Raises :class:`DeviceOutOfMemory` naming the
+    device whose slice overflowed.
+    """
+    if not devices:
+        raise ValueError("need at least one device")
+    ranges = partition_pairs(n, len(devices))
+    # partition_pairs drops empty ranges; align by padding.
+    while len(ranges) < len(devices):
+        from repro.parallel.partition import PairRange
+
+        ranges.append(PairRange(0, 0))
+
+    all_u: list[np.ndarray] = []
+    all_v: list[np.ndarray] = []
+    edges_per_device: list[int] = []
+    id_bytes = 4 if n < 2**31 else 8
+    id_dtype = np.int32 if id_bytes == 4 else np.int64
+
+    for rank, (dev, rng) in enumerate(zip(devices, ranges)):
+        dev.alloc("colmasks", int(colmasks.nbytes))
+        counter_bytes = 4 if n * n < 2**32 else 8
+        dev.alloc("edge_counters", 2 * n * counter_bytes)
+        coo_bytes = dev.available
+        dev.alloc("coo_edges", coo_bytes)
+        capacity = coo_bytes // (2 * id_bytes)
+        u_buf = np.empty(capacity, dtype=id_dtype)
+        v_buf = np.empty(capacity, dtype=id_dtype)
+        filled = 0
+        try:
+            for start in range(rng.start, rng.stop, chunk_size):
+                stop = min(start + chunk_size, rng.stop)
+                k = np.arange(start, stop, dtype=np.int64)
+                i, j = pair_index_to_ij(k, n)
+                mask = conflict_pair_kernel(edge_mask_fn, colmasks, i, j).astype(
+                    bool
+                )
+                ei, ej = i[mask], j[mask]
+                if filled + len(ei) > capacity:
+                    dev.n_ooms += 1
+                    raise DeviceOutOfMemory(
+                        f"device {rank} ({dev.name}): slice "
+                        f"[{rng.start}, {rng.stop}) produced more than "
+                        f"{capacity} conflict edges"
+                    )
+                u_buf[filled : filled + len(ei)] = ei
+                v_buf[filled : filled + len(ej)] = ej
+                filled += len(ei)
+        finally:
+            dev.free("coo_edges")
+            dev.free("edge_counters")
+            dev.free("colmasks")
+        all_u.append(u_buf[:filled].astype(np.int64))
+        all_v.append(v_buf[:filled].astype(np.int64))
+        edges_per_device.append(filled)
+
+    u = np.concatenate(all_u) if all_u else np.empty(0, dtype=np.int64)
+    v = np.concatenate(all_v) if all_v else np.empty(0, dtype=np.int64)
+    graph = from_edge_list(u, v, n)
+    stats = MultiBuildStats(
+        n_vertices=n,
+        n_conflict_edges=int(len(u)),
+        edges_per_device=edges_per_device,
+        peak_bytes_per_device=[d.peak_bytes for d in devices],
+    )
+    return graph, stats

@@ -1,0 +1,43 @@
+"""Graph substrate (paper §II-B).
+
+Explicit CSR graphs for the memory-hungry baselines, plus builders from
+Pauli sets (anticommute graph ``G`` and its complement ``G'``),
+synthetic generators and graph operations.
+"""
+
+from repro.graphs.build import (
+    anticommute_edge_count,
+    anticommute_graph,
+    complement_edge_count,
+    complement_graph,
+)
+from repro.graphs.csr import CSRGraph, from_edge_list, index_dtype
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    random_bipartite,
+    star_graph,
+)
+from repro.graphs.ops import complement, from_networkx, induced_subgraph, to_networkx
+
+__all__ = [
+    "anticommute_edge_count",
+    "anticommute_graph",
+    "complement_edge_count",
+    "complement_graph",
+    "CSRGraph",
+    "from_edge_list",
+    "index_dtype",
+    "complete_graph",
+    "cycle_graph",
+    "empty_graph",
+    "erdos_renyi",
+    "random_bipartite",
+    "star_graph",
+    "complement",
+    "from_networkx",
+    "induced_subgraph",
+    "to_networkx",
+]

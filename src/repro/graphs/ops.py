@@ -1,0 +1,74 @@
+"""Graph operations: induced subgraphs, complements, conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph, from_edge_list
+from repro.util.chunking import num_pairs, pair_index_to_ij
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray
+) -> tuple[CSRGraph, np.ndarray]:
+    """Subgraph induced by ``vertices`` (paper Alg. 1, line 11).
+
+    Returns the relabeled subgraph plus the ``old_id`` array mapping new
+    vertex ids back to the originals.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if len(np.unique(vertices)) != len(vertices):
+        raise ValueError("vertex list contains duplicates")
+    n_old = graph.n_vertices
+    new_id = np.full(n_old, -1, dtype=np.int64)
+    new_id[vertices] = np.arange(len(vertices))
+    e = graph.edges()
+    if len(e):
+        keep = (new_id[e[:, 0]] >= 0) & (new_id[e[:, 1]] >= 0)
+        u = new_id[e[keep, 0]]
+        v = new_id[e[keep, 1]]
+    else:
+        u = v = np.empty(0, dtype=np.int64)
+    return from_edge_list(u, v, len(vertices)), vertices
+
+
+def complement(graph: CSRGraph) -> CSRGraph:
+    """Explicit complement (small graphs only — quadratic by nature)."""
+    n = graph.n_vertices
+    if num_pairs(n) > 50_000_000:
+        raise MemoryError("complement() materializes all pairs; graph too large")
+    k = np.arange(num_pairs(n), dtype=np.int64)
+    u, v = pair_index_to_ij(k, n)
+    # Mark existing edges and invert.
+    existing = np.zeros(num_pairs(n), dtype=bool)
+    e = graph.edges()
+    if len(e):
+        lo = np.minimum(e[:, 0], e[:, 1]).astype(np.int64)
+        hi = np.maximum(e[:, 0], e[:, 1]).astype(np.int64)
+        flat = lo * n - lo * (lo + 1) // 2 + (hi - lo - 1)
+        existing[flat] = True
+    keep = ~existing
+    return from_edge_list(u[keep], v[keep], n)
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert to :class:`networkx.Graph` (test oracle / interop)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n_vertices))
+    g.add_edges_from(map(tuple, graph.edges().tolist()))
+    return g
+
+
+def from_networkx(g) -> CSRGraph:
+    """Build a :class:`CSRGraph` from a :class:`networkx.Graph`."""
+    import networkx as nx
+
+    if not isinstance(g, nx.Graph) or g.is_directed():
+        raise TypeError("expected an undirected networkx.Graph")
+    mapping = {node: i for i, node in enumerate(g.nodes())}
+    edges = np.array(
+        [(mapping[a], mapping[b]) for a, b in g.edges()], dtype=np.int64
+    ).reshape(-1, 2)
+    return from_edge_list(edges[:, 0], edges[:, 1], g.number_of_nodes())

@@ -1,0 +1,15 @@
+"""Memory accounting substrate (paper Table IV)."""
+
+from repro.memory.tracker import (
+    AlgorithmMemoryModel,
+    bytes_human,
+    peak_rss_bytes,
+    traced_allocation,
+)
+
+__all__ = [
+    "AlgorithmMemoryModel",
+    "bytes_human",
+    "peak_rss_bytes",
+    "traced_allocation",
+]

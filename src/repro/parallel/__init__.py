@@ -1,0 +1,6 @@
+"""Parallel execution substrate (paper §I's parallel implementation)."""
+
+from repro.parallel.partition import PairRange, partition_pairs
+from repro.parallel.pool import parallel_conflict_graph
+
+__all__ = ["PairRange", "partition_pairs", "parallel_conflict_graph"]

@@ -1,0 +1,67 @@
+"""Pauli-string substrate (paper §II, §IV-A).
+
+Representations and vectorized anticommutation kernels for sets of
+Pauli strings — the input domain of the Picasso coloring problem.
+"""
+
+from repro.pauli.anticommute import (
+    AnticommuteOracle,
+    anticommute_matrix,
+    anticommute_pairs_chars,
+    anticommute_pairs_iooh,
+    anticommute_pairs_symplectic,
+)
+from repro.pauli.encoding import (
+    CHAR_TO_CODE,
+    CODE_TO_CHAR,
+    I,
+    X,
+    Y,
+    Z,
+    chars_to_strings,
+    decode_iooh,
+    encode_iooh,
+    encode_symplectic,
+    strings_to_chars,
+    weight,
+)
+from repro.pauli.grouping import (
+    GroupingResult,
+    PauliRelationSource,
+    group_pauli_set,
+    qubitwise_commute_pairs,
+    validate_grouping,
+)
+from repro.pauli.io import load_pauli_set, save_pauli_set
+from repro.pauli.random import random_pauli_set, random_pauli_set_density
+from repro.pauli.strings import PauliSet
+
+__all__ = [
+    "AnticommuteOracle",
+    "anticommute_matrix",
+    "anticommute_pairs_chars",
+    "anticommute_pairs_iooh",
+    "anticommute_pairs_symplectic",
+    "CHAR_TO_CODE",
+    "CODE_TO_CHAR",
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "chars_to_strings",
+    "decode_iooh",
+    "encode_iooh",
+    "encode_symplectic",
+    "strings_to_chars",
+    "weight",
+    "GroupingResult",
+    "PauliRelationSource",
+    "group_pauli_set",
+    "qubitwise_commute_pairs",
+    "validate_grouping",
+    "load_pauli_set",
+    "save_pauli_set",
+    "random_pauli_set",
+    "random_pauli_set_density",
+    "PauliSet",
+]

@@ -1,0 +1,139 @@
+"""Anticommutation kernels.
+
+Two Pauli strings ``P_i``, ``P_j`` anticommute iff the number of qubit
+positions where they hold *distinct non-identity* Paulis is odd (Eq. 5
+extended to strings, §IV-A).  The paper's graph ``G`` connects
+anticommuting pairs; the coloring runs on the *complement* ``G'`` whose
+edges are the commuting (non-anticommuting) distinct pairs.
+
+Kernels, from slowest to fastest (the §IV-A ablation):
+
+- :func:`anticommute_pairs_chars` — direct per-character comparison of
+  the uint8 code matrix (the baseline the paper reports 1.4–2.0x over).
+- :func:`anticommute_pairs_iooh` — the paper's 3-bit inverse one-hot
+  encoding: ``AND`` + popcount-parity on packed uint64 words.
+- :func:`anticommute_pairs_symplectic` — the standard symplectic form
+  used as an independent oracle.
+
+All kernels take parallel index arrays ``(i, j)`` and return a uint8
+mask where 1 means *anticommute*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pauli.encoding import I, encode_iooh, encode_symplectic
+from repro.util.bits import parity_rows
+
+
+def anticommute_pairs_chars(
+    chars: np.ndarray, i: np.ndarray, j: np.ndarray
+) -> np.ndarray:
+    """Character-comparison kernel (baseline).
+
+    Counts positions where ``chars[i]`` and ``chars[j]`` differ and
+    neither is identity; anticommute iff the count is odd.
+    """
+    a = chars[i]
+    b = chars[j]
+    mism = (a != b) & (a != I) & (b != I)
+    return (mism.sum(axis=1) & 1).astype(np.uint8)
+
+
+def anticommute_pairs_iooh(
+    packed: np.ndarray, i: np.ndarray, j: np.ndarray
+) -> np.ndarray:
+    """Inverse one-hot kernel: ``parity(popcount(a & b))`` (the paper's)."""
+    return parity_rows(packed[i] & packed[j])
+
+
+def anticommute_pairs_symplectic(
+    x: np.ndarray, z: np.ndarray, i: np.ndarray, j: np.ndarray
+) -> np.ndarray:
+    """Symplectic-inner-product kernel (independent oracle).
+
+    ``P_i`` and ``P_j`` anticommute iff
+    ``parity(x_i & z_j) XOR parity(z_i & x_j)`` is 1.
+    """
+    p1 = parity_rows(x[i] & z[j])
+    p2 = parity_rows(z[i] & x[j])
+    return (p1 ^ p2).astype(np.uint8)
+
+
+def anticommute_matrix(chars: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` boolean anticommutation matrix (small inputs only).
+
+    Convenience for tests and tiny examples such as the H2 walkthrough
+    of Fig. 1; quadratic memory, so guarded against large ``n``.
+    """
+    chars = np.asarray(chars, dtype=np.uint8)
+    n = chars.shape[0]
+    if n > 20_000:
+        raise MemoryError(
+            f"anticommute_matrix materializes an {n}x{n} matrix; "
+            "use the pairwise kernels for large sets"
+        )
+    packed = encode_iooh(chars)
+    ii, jj = np.triu_indices(n, k=1)
+    mask = anticommute_pairs_iooh(packed, ii, jj)
+    out = np.zeros((n, n), dtype=bool)
+    out[ii, jj] = mask.astype(bool)
+    out |= out.T
+    return out
+
+
+class AnticommuteOracle:
+    """Batched anticommutation oracle over a fixed Pauli set.
+
+    Pre-encodes the set once and answers pairwise queries with the
+    chosen kernel.  This is the object the streaming conflict-graph
+    construction consults instead of an explicit edge list — the heart
+    of the paper's memory saving: the dense graph is never stored.
+
+    Parameters
+    ----------
+    chars:
+        ``(n, N)`` char-code matrix.
+    kernel:
+        ``"iooh"`` (default, the paper's), ``"chars"`` or ``"symplectic"``.
+    """
+
+    def __init__(self, chars: np.ndarray, kernel: str = "iooh") -> None:
+        self.chars = np.asarray(chars, dtype=np.uint8)
+        self.n = self.chars.shape[0]
+        self.n_qubits = self.chars.shape[1] if self.chars.ndim == 2 else 0
+        self.kernel = kernel
+        if kernel == "iooh":
+            self._packed = encode_iooh(self.chars)
+        elif kernel == "symplectic":
+            self._x, self._z = encode_symplectic(self.chars)
+        elif kernel == "chars":
+            pass
+        else:
+            raise ValueError(f"unknown kernel {kernel!r}")
+
+    def anticommute(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """uint8 mask, 1 where ``P_i`` and ``P_j`` anticommute."""
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        if self.kernel == "iooh":
+            return anticommute_pairs_iooh(self._packed, i, j)
+        if self.kernel == "symplectic":
+            return anticommute_pairs_symplectic(self._x, self._z, i, j)
+        return anticommute_pairs_chars(self.chars, i, j)
+
+    def commute_edges(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """uint8 mask, 1 where ``(i, j)`` is an edge of the *complement*
+        graph ``G'`` (distinct strings that do **not** anticommute)."""
+        return (1 - self.anticommute(i, j)).astype(np.uint8)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the encoded representation (memory accounting)."""
+        total = self.chars.nbytes
+        if self.kernel == "iooh":
+            total += self._packed.nbytes
+        elif self.kernel == "symplectic":
+            total += self._x.nbytes + self._z.nbytes
+        return total

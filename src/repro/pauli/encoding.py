@@ -1,0 +1,143 @@
+"""Pauli-string encodings.
+
+Three interchangeable representations (all tested against each other):
+
+``chars``
+    ``(n, N)`` uint8 matrix of code points ``I=0, X=1, Y=2, Z=3``.  This
+    is the baseline "character comparison" representation the paper
+    measures the encoded kernel against (§IV-A reports 1.4–2.0x).
+
+``iooh`` (inverse one-hot, the paper's scheme)
+    Each character maps to 3 bits — ``X=110, Y=101, Z=011, I=000`` —
+    packed LSB-first into uint64 words.  For two encoded strings ``a``
+    and ``b``, ``popcount(a & b)`` is odd iff the strings anticommute:
+    two *distinct* non-identity Paulis share exactly one set bit
+    (odd contribution), equal non-identity Paulis share two (even), and
+    any pair involving ``I`` shares zero (even).
+
+``symplectic``
+    The standard (x|z) binary representation: ``X=(1,0), Y=(1,1),
+    Z=(0,1), I=(0,0)``.  Strings anticommute iff
+    ``parity(x_a & z_b) != parity(z_a & x_b)``.  Used as an independent
+    cross-check oracle and by the Bravyi–Kitaev transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bits import packbits_rows
+
+#: Character code points.
+I, X, Y, Z = 0, 1, 2, 3
+
+CHAR_TO_CODE = {"I": I, "X": X, "Y": Y, "Z": Z}
+CODE_TO_CHAR = np.array(["I", "X", "Y", "Z"])
+
+#: 3-bit inverse one-hot codes, indexed by char code (I, X, Y, Z).
+#: Bit order is LSB-first within each 3-bit field.
+_IOOH_BITS = np.array(
+    [
+        [0, 0, 0],  # I -> 000
+        [0, 1, 1],  # X -> 110 (MSB-first in the paper) = bits (0,1,1) LSB-first
+        [1, 0, 1],  # Y -> 101 -> (1,0,1)
+        [1, 1, 0],  # Z -> 011 -> (1,1,0)
+    ],
+    dtype=np.uint8,
+)
+
+#: Symplectic (x, z) bits indexed by char code.
+_SYMPL_BITS = np.array(
+    [
+        [0, 0],  # I
+        [1, 0],  # X
+        [1, 1],  # Y
+        [0, 1],  # Z
+    ],
+    dtype=np.uint8,
+)
+
+
+def strings_to_chars(strings: list[str] | tuple[str, ...]) -> np.ndarray:
+    """Parse text Pauli strings (e.g. ``"XYZI"``) into a char-code matrix.
+
+    All strings must share the same length.  Raises ``ValueError`` on
+    unknown characters or ragged input.
+    """
+    if not strings:
+        return np.zeros((0, 0), dtype=np.uint8)
+    n_qubits = len(strings[0])
+    out = np.empty((len(strings), n_qubits), dtype=np.uint8)
+    for r, s in enumerate(strings):
+        if len(s) != n_qubits:
+            raise ValueError(
+                f"ragged Pauli set: string {r} has length {len(s)}, expected {n_qubits}"
+            )
+        for c, ch in enumerate(s):
+            try:
+                out[r, c] = CHAR_TO_CODE[ch]
+            except KeyError:
+                raise ValueError(f"invalid Pauli character {ch!r} in {s!r}") from None
+    return out
+
+
+def chars_to_strings(chars: np.ndarray) -> list[str]:
+    """Render a char-code matrix back to text strings."""
+    chars = np.asarray(chars, dtype=np.uint8)
+    return ["".join(row) for row in CODE_TO_CHAR[chars]]
+
+
+def encode_iooh(chars: np.ndarray) -> np.ndarray:
+    """Encode char codes into the packed 3-bit inverse one-hot form.
+
+    Parameters
+    ----------
+    chars:
+        ``(n, N)`` uint8 matrix of char codes.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, ceil(3N / 64))`` uint64 packed matrix.
+    """
+    chars = np.asarray(chars, dtype=np.uint8)
+    n, nq = chars.shape
+    bits = _IOOH_BITS[chars].reshape(n, 3 * nq)
+    return packbits_rows(bits, width=3 * nq)
+
+
+def encode_symplectic(chars: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode char codes into packed symplectic ``(x, z)`` bitsets.
+
+    Returns
+    -------
+    (x, z):
+        Two ``(n, ceil(N / 64))`` uint64 packed matrices.
+    """
+    chars = np.asarray(chars, dtype=np.uint8)
+    n, nq = chars.shape
+    xz = _SYMPL_BITS[chars]
+    x = packbits_rows(xz[:, :, 0], width=nq)
+    z = packbits_rows(xz[:, :, 1], width=nq)
+    return x, z
+
+
+def decode_iooh(packed: np.ndarray, n_qubits: int) -> np.ndarray:
+    """Invert :func:`encode_iooh` back to char codes (for tests/IO)."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    n = packed.shape[0]
+    nbits = 3 * n_qubits
+    cols = np.arange(nbits, dtype=np.int64)
+    bits = (packed[:, cols >> 6] >> (cols & 63).astype(np.uint64)) & np.uint64(1)
+    trip = bits.reshape(n, n_qubits, 3).astype(np.uint8)
+    # Match each 3-bit field against the code table.
+    out = np.zeros((n, n_qubits), dtype=np.uint8)
+    for code in (X, Y, Z):
+        match = (trip == _IOOH_BITS[code]).all(axis=2)
+        out[match] = code
+    return out
+
+
+def weight(chars: np.ndarray) -> np.ndarray:
+    """Pauli weight (number of non-identity positions) per string."""
+    return (np.asarray(chars) != I).sum(axis=1).astype(np.int64)

@@ -1,0 +1,57 @@
+"""Text IO for Pauli sets.
+
+Format: one term per line, ``<string> [coefficient]``, ``#`` comments.
+Coefficients accept Python complex literals (e.g. ``(0.5+0.25j)``).
+This matches the shape of OpenFermion's ``QubitOperator`` dumps closely
+enough that real exports can be ingested with a one-line conversion.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.pauli.strings import PauliSet
+
+
+def save_pauli_set(pauli_set: PauliSet, path: str | os.PathLike) -> None:
+    """Write a :class:`PauliSet` to a text file."""
+    strings = pauli_set.to_strings()
+    with open(path, "w", encoding="utf-8") as fh:
+        if pauli_set.name:
+            fh.write(f"# name: {pauli_set.name}\n")
+        fh.write(f"# n={pauli_set.n} n_qubits={pauli_set.n_qubits}\n")
+        if pauli_set.coefficients is None:
+            fh.write("\n".join(strings))
+            fh.write("\n")
+        else:
+            for s, c in zip(strings, pauli_set.coefficients):
+                fh.write(f"{s} {complex(c)}\n")
+
+
+def load_pauli_set(path: str | os.PathLike) -> PauliSet:
+    """Read a :class:`PauliSet` from a text file written by
+    :func:`save_pauli_set` (or any file in the same format)."""
+    strings: list[str] = []
+    coeffs: list[complex] = []
+    name = ""
+    saw_coeff = False
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# name:"):
+                    name = line.split(":", 1)[1].strip()
+                continue
+            parts = line.split(None, 1)
+            strings.append(parts[0])
+            if len(parts) == 2:
+                saw_coeff = True
+                coeffs.append(complex(parts[1]))
+            else:
+                coeffs.append(1.0 + 0.0j)
+    coefficients = np.array(coeffs) if saw_coeff else None
+    return PauliSet.from_strings(strings, coefficients, name=name)

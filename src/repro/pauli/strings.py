@@ -1,0 +1,145 @@
+"""The :class:`PauliSet` container.
+
+A ``PauliSet`` is the library's unit of input: an ordered collection of
+``n`` Pauli strings over ``N`` qubits with optional real/complex
+coefficients (the Hamiltonian weights ``p_j`` of Eq. 1).  It owns the
+char-code matrix and lazily builds encoded forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pauli.anticommute import AnticommuteOracle
+from repro.pauli.encoding import (
+    chars_to_strings,
+    encode_iooh,
+    strings_to_chars,
+    weight,
+)
+
+
+@dataclass
+class PauliSet:
+    """An ordered set of Pauli strings (the vertex set of the paper's graph).
+
+    Attributes
+    ----------
+    chars:
+        ``(n, N)`` uint8 matrix of char codes ``I=0, X=1, Y=2, Z=3``.
+    coefficients:
+        Optional length-``n`` complex vector of term coefficients.
+    name:
+        Optional dataset label (e.g. ``"H4_2D_631g"``).
+    """
+
+    chars: np.ndarray
+    coefficients: np.ndarray | None = None
+    name: str = ""
+    _oracle: AnticommuteOracle | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.chars = np.ascontiguousarray(self.chars, dtype=np.uint8)
+        if self.chars.ndim != 2:
+            raise ValueError(f"chars must be 2-D, got shape {self.chars.shape}")
+        if self.coefficients is not None:
+            self.coefficients = np.asarray(self.coefficients)
+            if self.coefficients.shape != (self.chars.shape[0],):
+                raise ValueError(
+                    "coefficients length "
+                    f"{self.coefficients.shape} does not match {self.chars.shape[0]} strings"
+                )
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_strings(
+        cls,
+        strings: list[str] | tuple[str, ...],
+        coefficients: np.ndarray | None = None,
+        name: str = "",
+    ) -> "PauliSet":
+        """Build from text strings such as ``["XYZI", "IIXX"]``."""
+        return cls(strings_to_chars(list(strings)), coefficients, name)
+
+    # -- basic properties ---------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of Pauli strings (graph vertices)."""
+        return self.chars.shape[0]
+
+    @property
+    def n_qubits(self) -> int:
+        """String length ``N`` (number of qubits)."""
+        return self.chars.shape[1]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def to_strings(self) -> list[str]:
+        """Render back to a list of text strings."""
+        return chars_to_strings(self.chars)
+
+    def weights(self) -> np.ndarray:
+        """Pauli weight (non-identity count) per string."""
+        return weight(self.chars)
+
+    # -- derived structures -------------------------------------------
+
+    def oracle(self, kernel: str = "iooh") -> AnticommuteOracle:
+        """Anticommutation oracle over this set (cached for ``iooh``)."""
+        if kernel == "iooh":
+            if self._oracle is None:
+                self._oracle = AnticommuteOracle(self.chars, kernel="iooh")
+            return self._oracle
+        return AnticommuteOracle(self.chars, kernel=kernel)
+
+    def encoded(self) -> np.ndarray:
+        """Packed 3-bit inverse one-hot encoding of the whole set."""
+        return encode_iooh(self.chars)
+
+    def subset(self, idx: np.ndarray) -> "PauliSet":
+        """A new :class:`PauliSet` restricted to row indices ``idx``.
+
+        Used by the Picasso driver to induce the uncolored subproblem of
+        each iteration (Alg. 1, line 11).
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        coeffs = self.coefficients[idx] if self.coefficients is not None else None
+        return PauliSet(self.chars[idx], coeffs, self.name)
+
+    def dedupe(self) -> "PauliSet":
+        """Remove duplicate strings (keeping first occurrence, summing
+        coefficients of duplicates)."""
+        _, first_idx, inverse = np.unique(
+            self.chars, axis=0, return_index=True, return_inverse=True
+        )
+        order = np.sort(first_idx)
+        coeffs = None
+        if self.coefficients is not None:
+            sums = np.zeros(len(first_idx), dtype=self.coefficients.dtype)
+            np.add.at(sums, inverse, self.coefficients)
+            # Map the unique-order sums back to first-occurrence order.
+            rank_of_sorted = np.argsort(np.argsort(first_idx))
+            coeffs = sums[np.argsort(first_idx)]
+            del rank_of_sorted
+        return PauliSet(self.chars[order], coeffs, self.name)
+
+    def drop_identity(self) -> "PauliSet":
+        """Remove all-identity strings (they commute with everything and
+        are handled separately by the application)."""
+        keep = self.weights() > 0
+        coeffs = self.coefficients[keep] if self.coefficients is not None else None
+        return PauliSet(self.chars[keep], coeffs, self.name)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the raw char matrix (memory accounting)."""
+        return self.chars.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"PauliSet(n={self.n}, n_qubits={self.n_qubits}{label})"

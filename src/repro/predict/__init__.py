@@ -1,0 +1,50 @@
+"""ML parameter prediction (paper §VI).
+
+Grid sweeps over ``(P', alpha)``, the Eq. 7 bi-objective, from-scratch
+regressors (ridge / lasso / CART / random forest) and the end-to-end
+:class:`PaletteParamsPredictor`.
+"""
+
+from repro.predict.dataset import PredictorDataset, build_dataset
+from repro.predict.models import (
+    DecisionTreeRegressor,
+    LassoRegressor,
+    RandomForestRegressor,
+    RidgeRegressor,
+    mape,
+    r2_score,
+)
+from repro.predict.predictor import PaletteParamsPredictor, compare_models
+from repro.predict.sweep import (
+    DEFAULT_ALPHAS,
+    DEFAULT_BETAS,
+    DEFAULT_PALETTE_PERCENTS,
+    SweepPoint,
+    normalize_objectives,
+    objective,
+    optimal_frontier,
+    optimal_point,
+    run_sweep,
+)
+
+__all__ = [
+    "PredictorDataset",
+    "build_dataset",
+    "DecisionTreeRegressor",
+    "LassoRegressor",
+    "RandomForestRegressor",
+    "RidgeRegressor",
+    "mape",
+    "r2_score",
+    "PaletteParamsPredictor",
+    "compare_models",
+    "DEFAULT_ALPHAS",
+    "DEFAULT_BETAS",
+    "DEFAULT_PALETTE_PERCENTS",
+    "SweepPoint",
+    "normalize_objectives",
+    "objective",
+    "optimal_frontier",
+    "optimal_point",
+    "run_sweep",
+]

@@ -1,0 +1,76 @@
+"""Training-set construction for the parameter predictor (§VI Steps 3–4).
+
+Each training row maps input features ``(beta, |V|, |E|)`` to the
+sweep-optimal targets ``(P', alpha)``.  ``|E|`` is the complement-graph
+edge count, computed by streaming (never materializing the graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.build import complement_edge_count
+from repro.pauli.strings import PauliSet
+from repro.predict.sweep import (
+    DEFAULT_ALPHAS,
+    DEFAULT_BETAS,
+    DEFAULT_PALETTE_PERCENTS,
+    optimal_frontier,
+    run_sweep,
+)
+
+
+@dataclass
+class PredictorDataset:
+    """Feature matrix ``X = (beta, n_vertices, n_edges)`` and target
+    matrix ``y = (palette_percent, alpha)``, with input provenance."""
+
+    X: np.ndarray
+    y: np.ndarray
+    input_names: list[str]
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+    def split_by_input(
+        self, test_names: set[str]
+    ) -> tuple["PredictorDataset", "PredictorDataset"]:
+        """Train/test split by *molecule*, as the paper does (first five
+        train, last two test) — row-level splits would leak."""
+        names = np.array(self.input_names)
+        test_mask = np.isin(names, list(test_names))
+        return (
+            PredictorDataset(
+                self.X[~test_mask], self.y[~test_mask], names[~test_mask].tolist()
+            ),
+            PredictorDataset(
+                self.X[test_mask], self.y[test_mask], names[test_mask].tolist()
+            ),
+        )
+
+
+def build_dataset(
+    pauli_sets: list[PauliSet],
+    palette_percents=DEFAULT_PALETTE_PERCENTS,
+    alphas=DEFAULT_ALPHAS,
+    betas=DEFAULT_BETAS,
+    seed: int = 0,
+) -> PredictorDataset:
+    """Steps 1-4: sweep every input, harvest per-beta optima."""
+    rows_x, rows_y, names = [], [], []
+    for ps in pauli_sets:
+        n_edges = complement_edge_count(ps)
+        points = run_sweep(
+            ps, palette_percents=palette_percents, alphas=alphas, seed=seed
+        )
+        for beta, best in optimal_frontier(points, betas):
+            rows_x.append([beta, float(ps.n), float(n_edges)])
+            rows_y.append([best.palette_percent, best.alpha])
+            names.append(ps.name or f"input_{len(names)}")
+    return PredictorDataset(
+        X=np.array(rows_x, dtype=np.float64),
+        y=np.array(rows_y, dtype=np.float64),
+        input_names=names,
+    )

@@ -1,0 +1,15 @@
+"""From-scratch regressors for the §VI parameter predictor."""
+
+from repro.predict.models.forest import RandomForestRegressor
+from repro.predict.models.linear import LassoRegressor, RidgeRegressor
+from repro.predict.models.metrics import mape, r2_score
+from repro.predict.models.tree import DecisionTreeRegressor
+
+__all__ = [
+    "RandomForestRegressor",
+    "LassoRegressor",
+    "RidgeRegressor",
+    "mape",
+    "r2_score",
+    "DecisionTreeRegressor",
+]

@@ -1,0 +1,76 @@
+"""Random-forest regressor: bagged CART trees with feature subsampling.
+
+The paper's best model (§VI): 100 trees, max depth 20, MAPE 0.19 /
+R² 0.88 on its dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predict.models.tree import DecisionTreeRegressor
+from repro.util.rng import as_generator
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Tree count (paper: 100).
+    max_depth:
+        Per-tree depth cap (paper: 20).
+    max_features:
+        Features per split (default ``"sqrt"`` decorrelates trees).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int = 20,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = as_generator(seed)
+        self.trees_: list[DecisionTreeRegressor] = []
+        self.n_outputs_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[:, None]
+        n = len(X)
+        if n == 0:
+            raise ValueError("empty training set")
+        self.n_outputs_ = y.shape[1]
+        self.trees_ = []
+        for child in self.rng.spawn(self.n_estimators):
+            boot = child.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=child,
+            )
+            tree.fit(X[boot], y[boot])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("model is not fitted")
+        preds = []
+        for t in self.trees_:
+            p = t.predict(X)
+            preds.append(p[:, None] if p.ndim == 1 else p)
+        out = np.mean(preds, axis=0)
+        return out[:, 0] if self.n_outputs_ == 1 else out

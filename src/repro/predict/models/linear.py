@@ -1,0 +1,105 @@
+"""Linear regressors: ridge (closed form) and lasso (coordinate descent).
+
+The paper's §VI baseline models.  Multi-output, with internal feature
+standardization so regularization strengths are scale-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _StandardizedLinear:
+    """Shared fit/predict plumbing: standardize X, center y."""
+
+    def __init__(self) -> None:
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self._x_mean: np.ndarray | None = None
+        self._x_std: np.ndarray | None = None
+
+    def _prepare(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if y.ndim == 1:
+            y = y[:, None]
+        if len(X) != len(y):
+            raise ValueError("X and y row counts differ")
+        self._x_mean = X.mean(axis=0)
+        self._x_std = X.std(axis=0)
+        self._x_std[self._x_std == 0] = 1.0
+        return (X - self._x_mean) / self._x_std, y
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        Xs = (X - self._x_mean) / self._x_std
+        out = Xs @ self.coef_ + self.intercept_
+        return out[:, 0] if out.shape[1] == 1 else out
+
+
+class RidgeRegressor(_StandardizedLinear):
+    """L2-regularized least squares, solved in closed form."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegressor":
+        Xs, y = self._prepare(X, y)
+        n, d = Xs.shape
+        y_mean = y.mean(axis=0)
+        yc = y - y_mean
+        gram = Xs.T @ Xs + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, Xs.T @ yc)
+        self.intercept_ = y_mean
+        return self
+
+
+class LassoRegressor(_StandardizedLinear):
+    """L1-regularized least squares via cyclic coordinate descent."""
+
+    def __init__(
+        self, alpha: float = 0.1, max_iter: int = 1000, tol: float = 1e-8
+    ) -> None:
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_iter_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LassoRegressor":
+        Xs, y = self._prepare(X, y)
+        n, d = Xs.shape
+        y_mean = y.mean(axis=0)
+        yc = y - y_mean
+        k = yc.shape[1]
+        w = np.zeros((d, k))
+        col_sq = (Xs**2).sum(axis=0)
+        col_sq[col_sq == 0] = 1.0
+        lam = self.alpha * n  # scale threshold with sample count
+        resid = yc.copy()  # resid = yc - Xs @ w, maintained incrementally
+        for it in range(self.max_iter):
+            max_delta = 0.0
+            for jf in range(d):
+                xj = Xs[:, jf]
+                rho = xj @ resid + col_sq[jf] * w[jf]
+                new = np.sign(rho) * np.maximum(np.abs(rho) - lam, 0.0) / col_sq[jf]
+                delta = new - w[jf]
+                if np.any(delta):
+                    resid -= np.outer(xj, delta)
+                    w[jf] = new
+                    max_delta = max(max_delta, float(np.abs(delta).max()))
+            if max_delta < self.tol:
+                break
+        self.n_iter_ = it + 1
+        self.coef_ = w
+        self.intercept_ = y_mean
+        return self

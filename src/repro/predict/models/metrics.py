@@ -1,0 +1,36 @@
+"""Regression metrics used in paper §VI (MAPE and R²)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean absolute percentage error, as a fraction (paper reports 0.19).
+
+    Averaged over all outputs for multi-target regression.  Targets of
+    exactly zero are guarded by ``eps``.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    denom = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; multi-output variance-weighted.
+
+    1 is perfect, 0 matches predicting the mean, negative is worse than
+    the mean predictor.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    ss_res = np.sum((y_true - y_pred) ** 2)
+    ss_tot = np.sum((y_true - y_true.mean(axis=0)) ** 2)
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return float(1.0 - ss_res / ss_tot)

@@ -1,0 +1,170 @@
+"""CART regression tree (variance-reduction splits), multi-output.
+
+Supports the paper's configuration (max depth 20) and serves as the
+base learner for :class:`repro.predict.models.forest.RandomForestRegressor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: np.ndarray | None = None  # leaf mean vector
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+
+class DecisionTreeRegressor:
+    """Binary regression tree minimizing total output variance.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (paper uses 20).
+    min_samples_split:
+        Nodes smaller than this become leaves.
+    min_samples_leaf:
+        Candidate splits leaving fewer rows on a side are rejected.
+    max_features:
+        Features considered per split: ``None`` = all, ``"sqrt"``, or an
+        int (used by the random forest for decorrelation).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 20,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.max_features = max_features
+        from repro.util.rng import as_generator
+
+        self.rng = as_generator(seed)
+        self._root: _Node | None = None
+        self.n_outputs_: int = 0
+        self.n_features_: int = 0
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[:, None]
+        if X.ndim != 2 or len(X) != len(y) or len(X) == 0:
+            raise ValueError("bad training shapes")
+        self.n_features_ = X.shape[1]
+        self.n_outputs_ = y.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _n_candidate_features(self) -> int:
+        if self.max_features is None:
+            return self.n_features_
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self.n_features_)))
+        return min(int(self.max_features), self.n_features_)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n = len(X)
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or np.allclose(y, y[0])
+        ):
+            return _Node(value=y.mean(axis=0))
+        feat, thr = self._best_split(X, y)
+        if feat < 0:
+            return _Node(value=y.mean(axis=0))
+        mask = X[:, feat] <= thr
+        return _Node(
+            feature=feat,
+            threshold=thr,
+            left=self._build(X[mask], y[mask], depth + 1),
+            right=self._build(X[~mask], y[~mask], depth + 1),
+        )
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float]:
+        """Exact best (feature, threshold) by prefix-sum variance scan."""
+        n, d = X.shape
+        k = self._n_candidate_features()
+        feats = (
+            np.arange(d)
+            if k == d
+            else self.rng.choice(d, size=k, replace=False)
+        )
+        best_feat, best_thr = -1, 0.0
+        # total SSE of the node (constant offset); we minimize child SSE.
+        best_score = np.inf
+        msl = self.min_samples_leaf
+        for f in feats:
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            ys = y[order]
+            # Candidate cut points: between distinct consecutive xs.
+            csum = np.cumsum(ys, axis=0)
+            csq = np.cumsum(ys**2, axis=0)
+            tot_sum = csum[-1]
+            tot_sq = csq[-1]
+            idx = np.arange(1, n)  # left size
+            valid = (xs[1:] != xs[:-1]) & (idx >= msl) & ((n - idx) >= msl)
+            if not valid.any():
+                continue
+            lefts = idx[valid]
+            ls = csum[lefts - 1]
+            lq = csq[lefts - 1]
+            rs = tot_sum - ls
+            rq = tot_sq - lq
+            sse = (lq - ls**2 / lefts[:, None]).sum(axis=1) + (
+                rq - rs**2 / (n - lefts)[:, None]
+            ).sum(axis=1)
+            j = int(np.argmin(sse))
+            if sse[j] < best_score - 1e-15:
+                best_score = float(sse[j])
+                cut = lefts[j]
+                best_feat = int(f)
+                best_thr = float(0.5 * (xs[cut - 1] + xs[cut]))
+        return best_feat, best_thr
+
+    # -- inference ---------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty((len(X), self.n_outputs_))
+        for r, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[r] = node.value
+        return out[:, 0] if self.n_outputs_ == 1 else out
+
+    def depth(self) -> int:
+        """Actual tree depth (diagnostics)."""
+
+        def _d(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        return _d(self._root)

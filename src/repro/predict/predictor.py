@@ -1,0 +1,114 @@
+"""End-to-end parameter predictor (paper §VI Steps 5–6).
+
+Train a regressor on sweep-derived optima; at deployment, hand it a new
+input's ``(beta, |V|, |E|)`` and receive the recommended
+``(palette_percent, alpha)`` — clamped back onto valid ranges — ready
+to drop into :class:`repro.core.PicassoParams`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import PicassoParams
+from repro.predict.dataset import PredictorDataset
+from repro.predict.models import (
+    DecisionTreeRegressor,
+    LassoRegressor,
+    RandomForestRegressor,
+    RidgeRegressor,
+    mape,
+    r2_score,
+)
+
+_MODEL_REGISTRY = {
+    "ridge": lambda seed: RidgeRegressor(alpha=1.0),
+    "lasso": lambda seed: LassoRegressor(alpha=0.01),
+    "tree": lambda seed: DecisionTreeRegressor(max_depth=20, seed=seed),
+    "forest": lambda seed: RandomForestRegressor(
+        n_estimators=100, max_depth=20, seed=seed
+    ),
+}
+
+
+class PaletteParamsPredictor:
+    """Predict ``(P', alpha)`` from ``(beta, |V|, |E|)``.
+
+    Parameters
+    ----------
+    model:
+        ``"forest"`` (paper's best), ``"tree"``, ``"ridge"`` or
+        ``"lasso"``.
+    """
+
+    def __init__(self, model: str = "forest", seed: int = 0) -> None:
+        if model not in _MODEL_REGISTRY:
+            raise ValueError(
+                f"unknown model {model!r}; expected one of {sorted(_MODEL_REGISTRY)}"
+            )
+        self.model_name = model
+        self._model = _MODEL_REGISTRY[model](seed)
+        self._fitted = False
+
+    @staticmethod
+    def _features(X: np.ndarray) -> np.ndarray:
+        """Log-scale the size features: |V| and |E| span decades."""
+        X = np.asarray(X, dtype=np.float64)
+        out = X.copy()
+        out[:, 1] = np.log10(np.maximum(X[:, 1], 1.0))
+        out[:, 2] = np.log10(np.maximum(X[:, 2], 1.0))
+        return out
+
+    def fit(self, dataset: PredictorDataset) -> "PaletteParamsPredictor":
+        self._model.fit(self._features(dataset.X), dataset.y)
+        self._fitted = True
+        return self
+
+    def predict_raw(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("predictor is not fitted")
+        pred = self._model.predict(self._features(X))
+        return np.atleast_2d(pred)
+
+    def predict(
+        self, beta: float, n_vertices: int, n_edges: int
+    ) -> tuple[float, float]:
+        """Recommended ``(palette_percent, alpha)`` for one input."""
+        pred = self.predict_raw(
+            np.array([[beta, float(n_vertices), float(n_edges)]])
+        )[0]
+        palette_percent = float(np.clip(pred[0], 0.5, 100.0))
+        alpha = float(np.clip(pred[1], 0.25, 64.0))
+        return palette_percent, alpha
+
+    def predict_params(
+        self, beta: float, n_vertices: int, n_edges: int, **overrides
+    ) -> PicassoParams:
+        """Directly produce :class:`PicassoParams` for a new input."""
+        pp, alpha = self.predict(beta, n_vertices, n_edges)
+        return PicassoParams(
+            palette_fraction=pp / 100.0, alpha=alpha
+        ).with_(**overrides)
+
+    def evaluate(self, dataset: PredictorDataset) -> dict[str, float]:
+        """MAPE and R² on a held-out dataset (the paper's metrics)."""
+        pred = self.predict_raw(dataset.X)
+        return {
+            "mape": mape(dataset.y, pred),
+            "r2": r2_score(dataset.y, pred),
+        }
+
+
+def compare_models(
+    train: PredictorDataset,
+    test: PredictorDataset,
+    models: tuple[str, ...] = ("ridge", "lasso", "tree", "forest"),
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """Fit every registered model and report held-out metrics — the
+    §VI model-selection experiment."""
+    out = {}
+    for name in models:
+        predictor = PaletteParamsPredictor(model=name, seed=seed).fit(train)
+        out[name] = predictor.evaluate(test)
+    return out

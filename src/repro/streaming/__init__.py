@@ -1,0 +1,17 @@
+"""Semi-streaming substrate (ACK's model, paper §III lineage)."""
+
+from repro.streaming.semi_streaming import semi_streaming_color
+from repro.streaming.stream import (
+    EdgeListStream,
+    FileEdgeStream,
+    PauliPairStream,
+    save_edge_stream,
+)
+
+__all__ = [
+    "semi_streaming_color",
+    "EdgeListStream",
+    "FileEdgeStream",
+    "PauliPairStream",
+    "save_edge_stream",
+]

@@ -1,0 +1,34 @@
+"""Low-level utilities shared across the Picasso reproduction.
+
+Submodules
+----------
+bits
+    Population-count helpers and packed-bitset operations used by the
+    Pauli anticommutation kernels and the color-list intersection tests.
+rng
+    Seed-spawning helpers so that every randomized component draws from
+    an explicit :class:`numpy.random.Generator`.
+chunking
+    Pair-space chunk iteration used by both the host and device kernels.
+"""
+
+from repro.util.bits import (
+    packbits_rows,
+    popcount,
+    popcount_rows,
+    parity_rows,
+)
+from repro.util.chunking import iter_pair_chunks, pair_index_to_ij, num_pairs
+from repro.util.rng import as_generator, spawn_generators
+
+__all__ = [
+    "packbits_rows",
+    "popcount",
+    "popcount_rows",
+    "parity_rows",
+    "iter_pair_chunks",
+    "pair_index_to_ij",
+    "num_pairs",
+    "as_generator",
+    "spawn_generators",
+]

@@ -1,0 +1,83 @@
+"""Linear algebra over GF(2).
+
+Needed by the qubit-tapering extension: Z2 symmetries of a Hamiltonian
+are the kernel of its Pauli terms' symplectic parity-check matrix.
+Matrices are ``uint8`` 0/1 NumPy arrays; arithmetic is XOR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gf2_row_reduce(mat: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns the RREF matrix and the list of pivot column indices.
+    """
+    m = (np.asarray(mat, dtype=np.uint8) & 1).copy()
+    if m.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    rows, cols = m.shape
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        # Find a pivot row at or below r.
+        hit = np.nonzero(m[r:, c])[0]
+        if len(hit) == 0:
+            continue
+        pr = r + int(hit[0])
+        if pr != r:
+            m[[r, pr]] = m[[pr, r]]
+        # Eliminate the column everywhere else (RREF, not just REF).
+        elim = np.nonzero(m[:, c])[0]
+        for er in elim:
+            if er != r:
+                m[er] ^= m[r]
+        pivots.append(c)
+        r += 1
+    return m, pivots
+
+
+def gf2_rank(mat: np.ndarray) -> int:
+    """Rank over GF(2)."""
+    _, pivots = gf2_row_reduce(mat)
+    return len(pivots)
+
+
+def gf2_nullspace(mat: np.ndarray) -> np.ndarray:
+    """Basis of the right nullspace over GF(2).
+
+    Returns a ``(k, cols)`` matrix whose rows satisfy ``mat @ v = 0``
+    (mod 2); ``k = cols - rank``.
+    """
+    mat = np.asarray(mat, dtype=np.uint8) & 1
+    rows, cols = mat.shape
+    rref, pivots = gf2_row_reduce(mat)
+    free = [c for c in range(cols) if c not in pivots]
+    basis = np.zeros((len(free), cols), dtype=np.uint8)
+    for k, fc in enumerate(free):
+        basis[k, fc] = 1
+        # Back-substitute: pivot variable r equals the free column's
+        # entry in its RREF row.
+        for r, pc in enumerate(pivots):
+            basis[k, pc] = rref[r, fc]
+    return basis
+
+
+def gf2_solve(mat: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+    """One solution of ``mat @ x = rhs`` over GF(2), or None if
+    inconsistent."""
+    mat = np.asarray(mat, dtype=np.uint8) & 1
+    rhs = np.asarray(rhs, dtype=np.uint8) & 1
+    rows, cols = mat.shape
+    aug = np.concatenate([mat, rhs[:, None]], axis=1)
+    rref, pivots = gf2_row_reduce(aug)
+    if cols in pivots:
+        return None  # pivot in the RHS column -> inconsistent
+    x = np.zeros(cols, dtype=np.uint8)
+    for r, pc in enumerate(pivots):
+        x[pc] = rref[r, cols]
+    return x

@@ -1,0 +1,30 @@
+"""Seeding discipline.
+
+Every randomized component in the library takes a ``seed`` argument that
+may be an int, ``None`` or an existing :class:`numpy.random.Generator`.
+These helpers normalize that argument and spawn statistically
+independent child streams for parallel workers (mirroring the paper's
+use of five distinct seeds per experiment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(
+    seed: int | np.random.Generator | None, n: int
+) -> list[np.random.Generator]:
+    """Spawn ``n`` independent child generators from ``seed``.
+
+    Child streams are derived via :meth:`numpy.random.Generator.spawn`
+    so parallel workers never share a stream.
+    """
+    return list(as_generator(seed).spawn(n))

@@ -1,0 +1,112 @@
+"""Tests for the FermionOperator algebra and normal ordering."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.fermion import FermionOperator
+
+
+def a(p):
+    return FermionOperator(((p, False),))
+
+
+def adag(p):
+    return FermionOperator(((p, True),))
+
+
+class TestBasics:
+    def test_identity_and_zero(self):
+        assert FermionOperator.identity().terms == {(): 1.0}
+        assert FermionOperator.zero().n_terms == 0
+
+    def test_negative_orbital_raises(self):
+        with pytest.raises(ValueError):
+            FermionOperator(((-1, True),))
+
+    def test_max_orbital(self):
+        op = adag(3) * a(1)
+        assert op.max_orbital() == 3
+
+    def test_scalar_algebra(self):
+        op = 2 * adag(0) - adag(0)
+        op = op.normal_ordered()
+        assert op.terms == {((0, True),): 1.0}
+
+
+class TestCanonicalAnticommutation:
+    """{a_p, a†_q} = δ_pq and {a_p, a_q} = 0 at the matrix level."""
+
+    def test_car_same_mode(self):
+        n = 3
+        for p in range(n):
+            anti = (a(p) * adag(p) + adag(p) * a(p)).to_matrix(n)
+            np.testing.assert_allclose(anti, np.eye(2**n), atol=1e-12)
+
+    def test_car_distinct_modes(self):
+        n = 3
+        for p in range(n):
+            for q in range(n):
+                if p == q:
+                    continue
+                anti = (a(p) * adag(q) + adag(q) * a(p)).to_matrix(n)
+                np.testing.assert_allclose(anti, 0, atol=1e-12)
+
+    def test_aa_anticommute(self):
+        n = 3
+        for p in range(n):
+            for q in range(n):
+                anti = (a(p) * a(q) + a(q) * a(p)).to_matrix(n)
+                np.testing.assert_allclose(anti, 0, atol=1e-12)
+
+
+class TestNormalOrdering:
+    def test_already_normal(self):
+        op = (adag(1) * a(0)).normal_ordered()
+        assert op.terms == {((1, True), (0, False)): 1.0}
+
+    def test_contraction(self):
+        # a_0 a†_0 = 1 - a†_0 a_0
+        op = (a(0) * adag(0)).normal_ordered()
+        assert op.terms == {(): 1.0, ((0, True), (0, False)): -1.0}
+
+    def test_distinct_swap_sign(self):
+        # a_0 a†_1 = -a†_1 a_0
+        op = (a(0) * adag(1)).normal_ordered()
+        assert op.terms == {((1, True), (0, False)): -1.0}
+
+    def test_double_creation_vanishes(self):
+        assert (adag(0) * adag(0)).normal_ordered().n_terms == 0
+        assert (a(2) * a(2)).normal_ordered().n_terms == 0
+
+    def test_descending_within_block(self):
+        op = (adag(0) * adag(1)).normal_ordered()
+        assert op.terms == {((1, True), (0, True)): -1.0}
+
+    def test_matrix_invariance(self):
+        """Normal ordering must not change the operator."""
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            op = FermionOperator.zero()
+            for _ in range(3):
+                k = rng.integers(1, 5)
+                term = tuple(
+                    (int(rng.integers(0, 3)), bool(rng.integers(0, 2)))
+                    for _ in range(k)
+                )
+                op += FermionOperator(term, complex(rng.normal(), rng.normal()))
+            np.testing.assert_allclose(
+                op.normal_ordered().to_matrix(3), op.to_matrix(3), atol=1e-10
+            )
+
+    def test_hermiticity_check(self):
+        h = adag(0) * a(1) + adag(1) * a(0)
+        assert h.is_hermitian()
+        assert not (adag(0) * a(1)).is_hermitian()
+
+    def test_hc_matrix(self):
+        op = adag(0) * a(1) * 2.5j
+        np.testing.assert_allclose(
+            op.hermitian_conjugate().to_matrix(2),
+            op.to_matrix(2).conj().T,
+            atol=1e-12,
+        )

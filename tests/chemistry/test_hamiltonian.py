@@ -1,0 +1,128 @@
+"""End-to-end tests of the geometry -> integrals -> PauliSet pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import (
+    check_symmetries,
+    hn_pauli_set,
+    hydrogen_cluster,
+    molecular_pauli_set,
+    molecular_qubit_operator,
+    spin_orbital_hamiltonian,
+    synthetic_integrals,
+)
+from repro.chemistry.geometry import BASIS_FUNCTIONS_PER_H, _grid_dims
+
+
+class TestGeometry:
+    @pytest.mark.parametrize(
+        "n,dim,basis,expected_qubits",
+        [
+            (2, 1, "sto3g", 4),    # H2 sto-3g: N = 4 (paper Fig. 1)
+            (6, 3, "sto3g", 12),   # Table II row 1
+            (4, 2, "631g", 16),    # Table II row 4
+            (4, 2, "6311g", 24),   # Table II row 7
+            (8, 2, "sto3g", 16),
+            (10, 3, "sto3g", 20),
+        ],
+    )
+    def test_qubit_counts_match_paper(self, n, dim, basis, expected_qubits):
+        geom = hydrogen_cluster(n, dim, basis)
+        assert geom.n_spin_orbitals == expected_qubits
+
+    def test_grid_dims(self):
+        assert _grid_dims(6, 1) == (6,)
+        assert _grid_dims(6, 2) == (2, 3)
+        assert _grid_dims(8, 3) == (2, 2, 2)
+        assert np.prod(_grid_dims(10, 3)) == 10
+
+    def test_positions_distinct(self):
+        geom = hydrogen_cluster(8, 3)
+        assert len({tuple(p) for p in geom.positions.tolist()}) == 8
+
+    def test_orbital_metadata_sizes(self):
+        geom = hydrogen_cluster(4, 1, "6311g")
+        assert geom.orbital_centers().shape == (12, 3)
+        assert geom.orbital_scales().shape == (12,)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            hydrogen_cluster(4, 4)
+        with pytest.raises(ValueError):
+            hydrogen_cluster(4, 1, "ccpvdz")
+        with pytest.raises(ValueError):
+            hydrogen_cluster(0, 1)
+
+
+class TestIntegrals:
+    def test_symmetries_hold(self):
+        for basis in BASIS_FUNCTIONS_PER_H:
+            geom = hydrogen_cluster(3, 1, basis)
+            ints = synthetic_integrals(geom)
+            assert check_symmetries(ints)
+
+    def test_cutoff_monotone(self):
+        geom = hydrogen_cluster(4, 2)
+        loose = synthetic_integrals(geom, cutoff=1e-8)
+        tight = synthetic_integrals(geom, cutoff=1e-2)
+        assert tight.n_two_body <= loose.n_two_body
+
+    def test_one_body_shape(self):
+        geom = hydrogen_cluster(4, 1, "631g")
+        ints = synthetic_integrals(geom)
+        assert ints.one_body.shape == (8, 8)
+
+
+class TestHamiltonian:
+    def test_spin_orbital_hamiltonian_hermitian(self):
+        geom = hydrogen_cluster(2, 1)
+        ints = synthetic_integrals(geom)
+        ham = spin_orbital_hamiltonian(ints)
+        assert ham.is_hermitian()
+
+    def test_qubit_operator_real_coefficients(self):
+        geom = hydrogen_cluster(2, 1)
+        qop = molecular_qubit_operator(geom)
+        assert qop.is_hermitian()
+
+    def test_jw_bk_isospectral_h2(self):
+        geom = hydrogen_cluster(2, 1)
+        jw = molecular_qubit_operator(geom, "jordan_wigner")
+        bk = molecular_qubit_operator(geom, "bravyi_kitaev")
+        np.testing.assert_allclose(
+            np.linalg.eigvalsh(jw.to_matrix(4)),
+            np.linalg.eigvalsh(bk.to_matrix(4)),
+            atol=1e-8,
+        )
+
+    def test_unknown_transform(self):
+        with pytest.raises(ValueError):
+            molecular_qubit_operator(hydrogen_cluster(2, 1), "ternary-tree")
+
+
+class TestPauliSetExport:
+    def test_h2_shape(self):
+        """H2/sto-3g: 4 qubits; the paper's Fig. 1 shows 17 strings
+        including identity. Our synthetic integrals give the same string
+        *support structure* (even-weight XY/Z patterns)."""
+        ps = molecular_pauli_set(hydrogen_cluster(2, 1), drop_identity=False)
+        assert ps.n_qubits == 4
+        assert ps.n > 10  # dense small set
+        strings = ps.to_strings()
+        assert len(set(strings)) == len(strings)  # deduped
+
+    def test_identity_dropped_by_default(self):
+        ps = hn_pauli_set(2, 1)
+        assert all(w > 0 for w in ps.weights())
+
+    def test_bigger_basis_more_terms(self):
+        small = hn_pauli_set(2, 1, "sto3g")
+        big = hn_pauli_set(2, 1, "631g")
+        assert big.n > small.n
+        assert big.n_qubits == 8
+
+    def test_deterministic(self):
+        a = hn_pauli_set(3, 1)
+        b = hn_pauli_set(3, 1)
+        np.testing.assert_array_equal(a.chars, b.chars)

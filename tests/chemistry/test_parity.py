@@ -1,0 +1,94 @@
+"""Parity-transform correctness (the third §II-A encoding)."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import (
+    FermionOperator,
+    hydrogen_cluster,
+    jordan_wigner,
+    molecular_qubit_operator,
+    parity_ladder,
+    parity_transform,
+)
+
+
+def a(p):
+    return FermionOperator(((p, False),))
+
+
+def adag(p):
+    return FermionOperator(((p, True),))
+
+
+class TestParityLadder:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_car_relations(self, n):
+        mats_a = [parity_ladder(j, False, n).to_matrix(n) for j in range(n)]
+        mats_ad = [parity_ladder(j, True, n).to_matrix(n) for j in range(n)]
+        eye = np.eye(2**n)
+        for p in range(n):
+            for q in range(n):
+                anti = mats_a[p] @ mats_ad[q] + mats_ad[q] @ mats_a[p]
+                np.testing.assert_allclose(
+                    anti, eye if p == q else 0, atol=1e-10, err_msg=f"{p},{q}"
+                )
+                anti2 = mats_a[p] @ mats_a[q] + mats_a[q] @ mats_a[p]
+                np.testing.assert_allclose(anti2, 0, atol=1e-10)
+
+    def test_dagger_is_adjoint(self):
+        n = 4
+        for j in range(n):
+            np.testing.assert_allclose(
+                parity_ladder(j, True, n).to_matrix(n),
+                parity_ladder(j, False, n).to_matrix(n).conj().T,
+                atol=1e-12,
+            )
+
+    def test_update_string_shape(self):
+        """Mode j touches qubits j-1..n-1 only (rightward X chain)."""
+        op = parity_ladder(2, True, 5)
+        for term in op.terms:
+            qubits = {q for q, _ in term}
+            assert qubits <= {1, 2, 3, 4}
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            parity_ladder(4, False, 4)
+
+
+class TestParityTransform:
+    def test_isospectral_with_jw(self):
+        rng = np.random.default_rng(0)
+        n = 4
+        h = rng.normal(size=(n, n))
+        h = h + h.T
+        ham = FermionOperator.zero()
+        for p in range(n):
+            for q in range(n):
+                ham += h[p, q] * adag(p) * a(q)
+        ham += 0.4 * adag(0) * adag(2) * a(2) * a(0)
+        jw_eigs = np.linalg.eigvalsh(jordan_wigner(ham).to_matrix(n))
+        pa_eigs = np.linalg.eigvalsh(parity_transform(ham, n).to_matrix(n))
+        np.testing.assert_allclose(jw_eigs, pa_eigs, atol=1e-8)
+
+    def test_hermitian_input_real_coefficients(self):
+        ham = adag(0) * a(1) + adag(1) * a(0)
+        assert parity_transform(ham, 2).is_hermitian()
+
+    def test_molecular_pipeline(self):
+        qop = molecular_qubit_operator(hydrogen_cluster(2, 1), "parity")
+        assert qop.is_hermitian()
+        jw = molecular_qubit_operator(hydrogen_cluster(2, 1), "jordan_wigner")
+        np.testing.assert_allclose(
+            np.linalg.eigvalsh(qop.to_matrix(4)),
+            np.linalg.eigvalsh(jw.to_matrix(4)),
+            atol=1e-8,
+        )
+
+    def test_pauli_set_export(self):
+        from repro.chemistry import hn_pauli_set
+
+        ps = hn_pauli_set(2, 1, transform="parity")
+        assert ps.name.endswith("_pa")
+        assert ps.n > 0

@@ -1,0 +1,146 @@
+"""Tests for the QubitOperator Pauli algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chemistry.qubit_operator import QubitOperator, _multiply_terms
+
+
+def random_operator(rng, n_qubits=3, n_terms=4) -> QubitOperator:
+    op = QubitOperator.zero()
+    for _ in range(n_terms):
+        k = rng.integers(0, n_qubits + 1)
+        qubits = rng.choice(n_qubits, size=k, replace=False)
+        letters = rng.choice(["X", "Y", "Z"], size=k)
+        term = tuple(sorted(zip(qubits.tolist(), letters.tolist())))
+        coeff = complex(rng.normal(), rng.normal())
+        op += QubitOperator(term, coeff)
+    return op
+
+
+class TestConstruction:
+    def test_identity(self):
+        op = QubitOperator.identity(2.0)
+        assert op.terms == {(): 2.0}
+        assert op.max_qubit() == -1
+
+    def test_zero(self):
+        assert QubitOperator.zero().n_terms == 0
+
+    def test_invalid_letter(self):
+        with pytest.raises(ValueError):
+            QubitOperator(((0, "Q"),))
+
+    def test_duplicate_qubit(self):
+        with pytest.raises(ValueError):
+            QubitOperator(((0, "X"), (0, "Y")))
+
+    def test_negative_qubit(self):
+        with pytest.raises(ValueError):
+            QubitOperator(((-1, "X"),))
+
+    def test_term_sorted(self):
+        op = QubitOperator(((3, "X"), (1, "Z")))
+        assert list(op.terms) == [((1, "Z"), (3, "X"))]
+
+
+class TestTermMultiplication:
+    @pytest.mark.parametrize(
+        "a,b,phase,result",
+        [
+            ("X", "Y", 1j, "Z"),
+            ("Y", "X", -1j, "Z"),
+            ("Y", "Z", 1j, "X"),
+            ("Z", "Y", -1j, "X"),
+            ("Z", "X", 1j, "Y"),
+            ("X", "Z", -1j, "Y"),
+        ],
+    )
+    def test_single_qubit_table(self, a, b, phase, result):
+        ph, t = _multiply_terms(((0, a),), ((0, b),))
+        assert ph == phase
+        assert t == ((0, result),)
+
+    def test_self_product_is_identity(self):
+        for p in "XYZ":
+            ph, t = _multiply_terms(((0, p),), ((0, p),))
+            assert ph == 1 and t == ()
+
+    def test_disjoint_merge(self):
+        ph, t = _multiply_terms(((0, "X"),), ((1, "Y"),))
+        assert ph == 1
+        assert t == ((0, "X"), (1, "Y"))
+
+
+class TestAlgebraAgainstMatrices:
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_product_matches_matrix_product(self, seed):
+        rng = np.random.default_rng(seed)
+        a = random_operator(rng)
+        b = random_operator(rng)
+        n = 3
+        np.testing.assert_allclose(
+            (a * b).to_matrix(n), a.to_matrix(n) @ b.to_matrix(n), atol=1e-10
+        )
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=15, deadline=None)
+    def test_sum_matches_matrix_sum(self, seed):
+        rng = np.random.default_rng(seed)
+        a = random_operator(rng)
+        b = random_operator(rng)
+        np.testing.assert_allclose(
+            (a + b).to_matrix(3), a.to_matrix(3) + b.to_matrix(3), atol=1e-10
+        )
+
+    def test_hermitian_conjugate_matches_dagger(self):
+        rng = np.random.default_rng(5)
+        a = random_operator(rng)
+        np.testing.assert_allclose(
+            a.hermitian_conjugate().to_matrix(3),
+            a.to_matrix(3).conj().T,
+            atol=1e-10,
+        )
+
+
+class TestUtility:
+    def test_compress(self):
+        op = QubitOperator(((0, "X"),), 1e-15) + QubitOperator(((1, "Y"),), 1.0)
+        op.compress()
+        assert op.n_terms == 1
+
+    def test_scalar_ops(self):
+        op = QubitOperator(((0, "X"),), 2.0)
+        assert (op * 2).terms[((0, "X"),)] == 4.0
+        assert (3 * op).terms[((0, "X"),)] == 6.0
+        assert (op + 1).terms[()] == 1.0
+        assert (-op).terms[((0, "X"),)] == -2.0
+        assert (op - op).compress().n_terms == 0
+
+    def test_equality(self):
+        a = QubitOperator(((0, "X"),), 1.0)
+        b = QubitOperator(((0, "X"),), 1.0 + 1e-14)
+        assert a == b
+        assert a != QubitOperator(((0, "Y"),), 1.0)
+
+    def test_is_hermitian(self):
+        assert QubitOperator(((0, "X"),), 1.0).is_hermitian()
+        assert not QubitOperator(((0, "X"),), 1j).is_hermitian()
+
+    def test_to_char_matrix(self):
+        op = QubitOperator(((0, "X"), (2, "Z")), 2.0)
+        chars, coeffs = op.to_char_matrix(4)
+        np.testing.assert_array_equal(chars, [[1, 0, 3, 0]])
+        np.testing.assert_allclose(coeffs, [2.0])
+
+    def test_to_char_matrix_out_of_range(self):
+        op = QubitOperator(((5, "X"),), 1.0)
+        with pytest.raises(ValueError):
+            op.to_char_matrix(2)
+
+    def test_to_matrix_guard(self):
+        with pytest.raises(MemoryError):
+            QubitOperator(((13, "X"),)).to_matrix(14)

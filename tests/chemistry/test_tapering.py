@@ -1,0 +1,125 @@
+"""Tests for Z2 symmetry finding and qubit tapering."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import (
+    QubitOperator,
+    all_sectors,
+    find_z2_symmetries,
+    hydrogen_cluster,
+    molecular_qubit_operator,
+    taper_qubits,
+)
+
+
+def z(q):
+    return QubitOperator(((q, "Z"),), 1.0)
+
+
+def x(q):
+    return QubitOperator(((q, "X"),), 1.0)
+
+
+class TestFindSymmetries:
+    def test_h2_finds_spin_parities(self):
+        qop = molecular_qubit_operator(hydrogen_cluster(2, 1))
+        gens = find_z2_symmetries(qop, 4)
+        strings = {tuple(next(iter(g.terms))) for g in gens}
+        # Interleaved spin orbitals: up parity Z0 Z2, down parity Z1 Z3.
+        assert ((0, "Z"), (2, "Z")) in strings
+        assert ((1, "Z"), (3, "Z")) in strings
+
+    def test_generators_commute_with_hamiltonian(self):
+        qop = molecular_qubit_operator(hydrogen_cluster(2, 1))
+        H = qop.to_matrix(4)
+        for g in find_z2_symmetries(qop, 4):
+            G = g.to_matrix(4)
+            np.testing.assert_allclose(H @ G - G @ H, 0, atol=1e-10)
+
+    def test_no_symmetry_case(self):
+        # X0 + Z0 has no nontrivial single-qubit symmetry.
+        qop = x(0) + z(0)
+        assert find_z2_symmetries(qop, 1) == []
+
+    def test_free_qubit_symmetries(self):
+        """A qubit untouched by H contributes X and Z symmetries."""
+        qop = z(0)  # qubit 1 untouched
+        gens = find_z2_symmetries(qop, 2)
+        assert len(gens) == 3  # Z0, X1, Z1 (and products span the rest)
+
+
+class TestTaperQubits:
+    def test_h2_tapers_two_qubits(self):
+        qop = molecular_qubit_operator(hydrogen_cluster(2, 1))
+        result = taper_qubits(qop, 4)
+        assert result.n_qubits_after == 2
+        assert len(result.removed_qubits) == 2
+
+    def test_spectrum_union_preserved(self):
+        """The defining property: sector spectra tile the full spectrum."""
+        qop = molecular_qubit_operator(hydrogen_cluster(2, 1))
+        full = np.sort(np.linalg.eigvalsh(qop.to_matrix(4)))
+        eigs = []
+        for r in all_sectors(qop, 4):
+            eigs.extend(
+                np.linalg.eigvalsh(r.operator.to_matrix(max(r.n_qubits_after, 1)))
+            )
+        np.testing.assert_allclose(np.sort(eigs), full, atol=1e-8)
+
+    def test_ground_state_in_some_sector(self):
+        qop = molecular_qubit_operator(hydrogen_cluster(2, 1))
+        e0 = np.linalg.eigvalsh(qop.to_matrix(4)).min()
+        sector_mins = [
+            np.linalg.eigvalsh(r.operator.to_matrix(max(r.n_qubits_after, 1))).min()
+            for r in all_sectors(qop, 4)
+        ]
+        assert np.isclose(min(sector_mins), e0, atol=1e-8)
+
+    def test_simple_ising_symmetry(self):
+        # H = Z0 Z1 + Z1 Z2: single-qubit Z's commute, and so does the
+        # global spin-flip X0 X1 X2 (it anticommutes with each Z factor
+        # twice per term) -> kernel dimension 2n - rank = 4.
+        qop = (
+            QubitOperator(((0, "Z"), (1, "Z")), 1.0)
+            + QubitOperator(((1, "Z"), (2, "Z")), 0.5)
+        )
+        gens = find_z2_symmetries(qop, 3)
+        assert len(gens) == 4
+        # Only 3 qubits carry Z support, so all four generators cannot
+        # be tapered simultaneously ...
+        with pytest.raises(ValueError, match="pivots"):
+            taper_qubits(qop, 3, generators=gens)
+        # ... but the Z-type subset tapers the problem to a constant.
+        zgens = [z(0), z(1), z(2)]
+        result = taper_qubits(qop, 3, generators=zgens)
+        assert result.n_qubits_after == 0
+        assert result.operator.n_terms <= 1
+
+    def test_no_generators_noop(self):
+        qop = x(0) + z(0)
+        result = taper_qubits(qop, 1, generators=[])
+        assert result.n_qubits_after == 1
+        assert result.operator == qop
+
+    def test_bad_sector_rejected(self):
+        qop = molecular_qubit_operator(hydrogen_cluster(2, 1))
+        gens = find_z2_symmetries(qop, 4)
+        with pytest.raises(ValueError):
+            taper_qubits(qop, 4, generators=gens, sector=(2,) * len(gens))
+        with pytest.raises(ValueError):
+            taper_qubits(qop, 4, generators=gens, sector=(1,))
+
+    def test_multi_term_generator_rejected(self):
+        qop = z(0)
+        bad = z(0) + x(0)
+        with pytest.raises(ValueError, match="single Pauli strings"):
+            taper_qubits(qop, 1, generators=[bad])
+
+    def test_h4_tapering_reduces(self):
+        qop = molecular_qubit_operator(hydrogen_cluster(3, 1))
+        n = 6
+        gens = find_z2_symmetries(qop, n)
+        assert len(gens) >= 2
+        result = taper_qubits(qop, n, generators=gens)
+        assert result.n_qubits_after == n - len(gens)

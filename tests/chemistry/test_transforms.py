@@ -1,0 +1,127 @@
+"""Jordan–Wigner and Bravyi–Kitaev transform correctness.
+
+Matrix-level ground truth: JW images must equal FermionOperator.to_matrix
+exactly; BK images must satisfy the canonical anticommutation relations
+and produce isospectral Hamiltonians.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.bravyi_kitaev import (
+    bravyi_kitaev,
+    bravyi_kitaev_ladder,
+    flip_set,
+    parity_set,
+    update_set,
+)
+from repro.chemistry.fermion import FermionOperator
+from repro.chemistry.jordan_wigner import jordan_wigner, jordan_wigner_ladder
+
+
+def a(p):
+    return FermionOperator(((p, False),))
+
+
+def adag(p):
+    return FermionOperator(((p, True),))
+
+
+class TestJordanWigner:
+    @pytest.mark.parametrize("p", range(4))
+    @pytest.mark.parametrize("dagger", [False, True])
+    def test_ladder_matrix_exact(self, p, dagger):
+        n = 4
+        ferm = adag(p) if dagger else a(p)
+        np.testing.assert_allclose(
+            jordan_wigner_ladder(p, dagger).to_matrix(n),
+            ferm.to_matrix(n),
+            atol=1e-12,
+        )
+
+    def test_general_operator(self):
+        op = 0.5 * adag(0) * a(2) + 0.5 * adag(2) * a(0) + 0.25 * adag(1) * a(1)
+        np.testing.assert_allclose(
+            jordan_wigner(op).to_matrix(3), op.to_matrix(3), atol=1e-12
+        )
+
+    def test_number_operator(self):
+        # a†_p a_p -> (I - Z_p)/2
+        q = jordan_wigner(adag(1) * a(1))
+        assert q.terms[()] == pytest.approx(0.5)
+        assert q.terms[((1, "Z"),)] == pytest.approx(-0.5)
+
+    def test_hermitian_input_gives_real_coefficients(self):
+        op = adag(0) * a(1) + adag(1) * a(0)
+        q = jordan_wigner(op)
+        assert q.is_hermitian()
+
+
+class TestFenwickSets:
+    def test_even_modes_have_empty_flip(self):
+        for n in (4, 7, 8):
+            for j in range(0, n, 2):
+                assert flip_set(j, n) == frozenset()
+
+    def test_parity_set_mode0_empty(self):
+        assert parity_set(0, 8) == frozenset()
+
+    def test_known_n8_values(self):
+        # Standard BK examples for n = 8 (Seeley–Richard–Love Table 2).
+        assert update_set(0, 8) == frozenset({1, 3, 7})
+        assert update_set(2, 8) == frozenset({3, 7})
+        assert update_set(7, 8) == frozenset()
+        assert parity_set(7, 8) == frozenset({6, 5, 3})
+        assert flip_set(7, 8) == frozenset({6, 5, 3})
+        assert flip_set(3, 8) == frozenset({2, 1})
+
+    def test_sets_disjoint_update_parity(self):
+        for n in (5, 8, 12):
+            for j in range(n):
+                assert not (update_set(j, n) & parity_set(j, n))
+
+
+class TestBravyiKitaev:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_car_relations(self, n):
+        """BK ladder operators must satisfy the CAR at matrix level."""
+        mats_a = [bravyi_kitaev_ladder(j, False, n).to_matrix(n) for j in range(n)]
+        mats_ad = [bravyi_kitaev_ladder(j, True, n).to_matrix(n) for j in range(n)]
+        eye = np.eye(2**n)
+        for p in range(n):
+            for q in range(n):
+                anti = mats_a[p] @ mats_ad[q] + mats_ad[q] @ mats_a[p]
+                np.testing.assert_allclose(
+                    anti, eye if p == q else 0, atol=1e-10, err_msg=f"p={p} q={q}"
+                )
+                anti2 = mats_a[p] @ mats_a[q] + mats_a[q] @ mats_a[p]
+                np.testing.assert_allclose(anti2, 0, atol=1e-10)
+
+    def test_dagger_is_adjoint(self):
+        n = 4
+        for j in range(n):
+            np.testing.assert_allclose(
+                bravyi_kitaev_ladder(j, True, n).to_matrix(n),
+                bravyi_kitaev_ladder(j, False, n).to_matrix(n).conj().T,
+                atol=1e-12,
+            )
+
+    def test_isospectral_with_jw(self):
+        """JW and BK are unitarily equivalent: same Hamiltonian spectrum."""
+        rng = np.random.default_rng(1)
+        n = 4
+        h = rng.normal(size=(n, n))
+        h = h + h.T
+        ham = FermionOperator.zero()
+        for p in range(n):
+            for q in range(n):
+                ham += h[p, q] * adag(p) * a(q)
+        # Add one two-body term for good measure.
+        ham += 0.3 * adag(0) * adag(1) * a(1) * a(0)
+        jw_eigs = np.linalg.eigvalsh(jordan_wigner(ham).to_matrix(n))
+        bk_eigs = np.linalg.eigvalsh(bravyi_kitaev(ham, n).to_matrix(n))
+        np.testing.assert_allclose(jw_eigs, bk_eigs, atol=1e-8)
+
+    def test_out_of_range_mode(self):
+        with pytest.raises(ValueError):
+            bravyi_kitaev_ladder(5, False, 4)

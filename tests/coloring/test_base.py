@@ -1,0 +1,62 @@
+"""Tests for ColoringResult and the smallest-available-color kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.base import ColoringResult, smallest_available_color
+
+
+class TestSmallestAvailableColor:
+    def test_empty(self):
+        assert smallest_available_color(np.array([], dtype=np.int64)) == 0
+
+    def test_all_uncolored(self):
+        assert smallest_available_color(np.array([-1, -1])) == 0
+
+    def test_gap(self):
+        assert smallest_available_color(np.array([0, 2, 3])) == 1
+
+    def test_contiguous(self):
+        assert smallest_available_color(np.array([0, 1, 2])) == 3
+
+    def test_duplicates(self):
+        assert smallest_available_color(np.array([0, 0, 1, 1])) == 2
+
+    def test_huge_colors_ignored(self):
+        assert smallest_available_color(np.array([10**9])) == 0
+
+    @given(st.lists(st.integers(min_value=-1, max_value=50), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference(self, vals):
+        forbidden = np.array(vals, dtype=np.int64)
+        used = {v for v in vals if v >= 0}
+        expected = 0
+        while expected in used:
+            expected += 1
+        assert smallest_available_color(forbidden) == expected
+
+
+class TestColoringResult:
+    def test_n_colors(self):
+        r = ColoringResult(np.array([0, 2, 2, 5]), "x")
+        assert r.n_colors == 3
+        assert r.n_vertices == 4
+
+    def test_color_percentage(self):
+        r = ColoringResult(np.array([0, 1, 0, 1]), "x")
+        assert r.color_percentage() == 50.0
+
+    def test_empty(self):
+        r = ColoringResult(np.empty(0, dtype=np.int64), "x")
+        assert r.n_colors == 0
+        assert r.color_percentage() == 0.0
+
+    def test_color_classes_partition(self):
+        colors = np.array([1, 0, 1, 2, 0])
+        r = ColoringResult(colors, "x")
+        classes = r.color_classes()
+        all_vertices = np.sort(np.concatenate(classes))
+        np.testing.assert_array_equal(all_vertices, np.arange(5))
+        for cls in classes:
+            assert len(np.unique(colors[cls])) == 1

@@ -1,0 +1,113 @@
+"""Tests for greedy coloring and the ordering heuristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import (
+    ALL_ORDERS,
+    degeneracy,
+    greedy_coloring,
+    largest_first_order,
+    smallest_last_order,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    random_bipartite,
+    star_graph,
+)
+
+
+@pytest.mark.parametrize("order", ALL_ORDERS)
+class TestProperColoringEveryOrder:
+    def test_random_graph(self, order):
+        g = erdos_renyi(60, 0.3, seed=5)
+        r = greedy_coloring(g, order, seed=1)
+        assert g.validate_coloring(r.colors)
+        assert r.algorithm == f"greedy-{order.upper()}"
+        assert r.peak_bytes > 0
+        assert r.elapsed_s >= 0
+
+    def test_complete_graph_needs_n(self, order):
+        g = complete_graph(7)
+        r = greedy_coloring(g, order, seed=1)
+        assert r.n_colors == 7
+
+    def test_empty_graph_one_color(self, order):
+        r = greedy_coloring(empty_graph(5), order, seed=1)
+        assert r.n_colors == 1
+
+    def test_star_two_colors(self, order):
+        r = greedy_coloring(star_graph(20), order, seed=1)
+        assert r.n_colors == 2
+
+    def test_even_cycle_two_colors(self, order):
+        # Greedy on a cycle can use 3, but never more.
+        r = greedy_coloring(cycle_graph(10), order, seed=1)
+        assert r.n_colors <= 3
+
+
+class TestOrderings:
+    def test_lf_descending_degree(self):
+        g = star_graph(6)
+        order = largest_first_order(g)
+        assert order[0] == 0  # hub has max degree
+
+    def test_sl_is_permutation(self):
+        g = erdos_renyi(40, 0.4, seed=2)
+        order = smallest_last_order(g)
+        np.testing.assert_array_equal(np.sort(order), np.arange(40))
+
+    def test_sl_colors_bounded_by_degeneracy(self):
+        for seed in range(5):
+            g = erdos_renyi(50, 0.3, seed=seed)
+            r = greedy_coloring(g, "sl")
+            assert r.n_colors <= degeneracy(g) + 1
+
+    def test_degeneracy_known_values(self):
+        assert degeneracy(complete_graph(6)) == 5
+        assert degeneracy(cycle_graph(9)) == 2
+        assert degeneracy(star_graph(10)) == 1
+        assert degeneracy(empty_graph(4)) == 0
+
+    def test_unknown_order_raises(self):
+        with pytest.raises(ValueError):
+            greedy_coloring(complete_graph(3), "bogus")
+
+    def test_random_order_seeded(self):
+        g = erdos_renyi(30, 0.5, seed=0)
+        a = greedy_coloring(g, "random", seed=3)
+        b = greedy_coloring(g, "random", seed=3)
+        np.testing.assert_array_equal(a.colors, b.colors)
+
+
+class TestQualityOrdering:
+    """Statistical expectations from the survey + paper Table III."""
+
+    def test_dlf_not_worse_than_natural_on_average(self):
+        wins = 0
+        for seed in range(8):
+            g = erdos_renyi(80, 0.5, seed=seed)
+            c_dlf = greedy_coloring(g, "dlf").n_colors
+            c_nat = greedy_coloring(g, "natural").n_colors
+            wins += c_dlf <= c_nat
+        assert wins >= 6
+
+    def test_bipartite_all_orders_reasonable(self):
+        g = random_bipartite(30, 30, 0.5, seed=1)
+        for order in ALL_ORDERS:
+            r = greedy_coloring(g, order, seed=0)
+            assert g.validate_coloring(r.colors)
+            assert r.n_colors <= 8  # chromatic number is 2
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=15, deadline=None)
+    def test_never_exceeds_max_degree_plus_one(self, seed):
+        g = erdos_renyi(40, 0.4, seed=seed)
+        for order in ALL_ORDERS:
+            r = greedy_coloring(g, order, seed=seed)
+            assert r.n_colors <= g.max_degree() + 1

@@ -1,0 +1,111 @@
+"""Tests for Luby MIS coloring and iterated-greedy recoloring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import (
+    greedy_coloring,
+    iterated_greedy,
+    luby_coloring,
+    luby_mis,
+)
+from repro.coloring.base import ColoringResult
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    star_graph,
+)
+from repro.util.rng import as_generator
+
+
+class TestLubyMis:
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_independent_and_maximal(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 50))
+        g = erdos_renyi(n, float(rng.random()), seed=seed)
+        mis = luby_mis(g, np.ones(n, dtype=bool), as_generator(seed))
+        e = g.edges()
+        if len(e):
+            # Independence: no edge inside the set.
+            assert not (mis[e[:, 0]] & mis[e[:, 1]]).any()
+        # Maximality: every vertex outside has a neighbor inside.
+        for v in np.nonzero(~mis)[0]:
+            assert mis[g.neighbors(v)].any()
+
+    def test_restricted_candidates(self):
+        g = complete_graph(6)
+        cand = np.zeros(6, dtype=bool)
+        cand[2] = cand[4] = True
+        mis = luby_mis(g, cand, as_generator(0))
+        assert mis.sum() == 1  # K6: only one of the two candidates
+        assert mis[2] or mis[4]
+
+
+class TestLubyColoring:
+    def test_proper_on_random(self):
+        g = erdos_renyi(60, 0.4, seed=1)
+        r = luby_coloring(g, seed=0)
+        assert g.validate_coloring(r.colors)
+        assert r.stats["rounds"] == r.n_colors
+
+    def test_complete(self):
+        assert luby_coloring(complete_graph(7), seed=0).n_colors == 7
+
+    def test_empty(self):
+        assert luby_coloring(empty_graph(5), seed=0).n_colors == 1
+
+    def test_star(self):
+        assert luby_coloring(star_graph(12), seed=0).n_colors == 2
+
+    def test_worse_than_greedy_on_average(self):
+        """The historical motivation for JP: Luby burns a color per MIS."""
+        worse = 0
+        for seed in range(6):
+            g = erdos_renyi(80, 0.5, seed=seed)
+            c_luby = luby_coloring(g, seed=seed).n_colors
+            c_dlf = greedy_coloring(g, "dlf").n_colors
+            worse += c_luby >= c_dlf
+        assert worse >= 4
+
+
+class TestIteratedGreedy:
+    def test_never_worse(self):
+        for seed in range(5):
+            g = erdos_renyi(70, 0.5, seed=seed)
+            base = greedy_coloring(g, "natural")
+            improved = iterated_greedy(g, base, rounds=6, seed=seed)
+            assert improved.n_colors <= base.n_colors
+            assert g.validate_coloring(improved.colors)
+
+    def test_improves_bad_start(self):
+        """A natural-order coloring of a random graph usually has slack."""
+        wins = 0
+        for seed in range(6):
+            g = erdos_renyi(100, 0.5, seed=seed)
+            base = greedy_coloring(g, "natural")
+            improved = iterated_greedy(g, base, rounds=9, seed=seed)
+            wins += improved.n_colors < base.n_colors
+        assert wins >= 3
+
+    def test_cycle_optimal_fixed_point(self):
+        g = cycle_graph(8)
+        base = greedy_coloring(g, "natural")
+        improved = iterated_greedy(g, base, rounds=3, seed=0)
+        assert improved.n_colors == 2
+
+    def test_rejects_incomplete(self):
+        g = cycle_graph(5)
+        bad = ColoringResult(np.array([0, 1, -1, 0, 1]), "x")
+        with pytest.raises(ValueError):
+            iterated_greedy(g, bad)
+
+    def test_algorithm_label(self):
+        g = cycle_graph(6)
+        improved = iterated_greedy(g, greedy_coloring(g, "lf"), rounds=1, seed=0)
+        assert improved.algorithm == "greedy-LF+ig"

@@ -1,0 +1,94 @@
+"""Tests for Jones–Plassmann-LDF and speculative (edge-based) coloring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import greedy_coloring, jones_plassmann_ldf, speculative_coloring
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    random_bipartite,
+    star_graph,
+)
+
+ALGOS = [jones_plassmann_ldf, speculative_coloring]
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+class TestCorrectness:
+    def test_random_graph_proper(self, algo):
+        g = erdos_renyi(70, 0.3, seed=11)
+        r = algo(g, seed=0)
+        assert g.validate_coloring(r.colors)
+        assert (r.colors >= 0).all()
+
+    def test_complete(self, algo):
+        r = algo(complete_graph(8), seed=0)
+        assert r.n_colors == 8
+
+    def test_empty_graph(self, algo):
+        r = algo(empty_graph(6), seed=0)
+        assert r.n_colors == 1
+
+    def test_zero_vertices(self, algo):
+        r = algo(empty_graph(0), seed=0)
+        assert r.n_vertices == 0
+
+    def test_star(self, algo):
+        r = algo(star_graph(15), seed=0)
+        assert r.n_colors == 2
+
+    def test_cycle(self, algo):
+        r = algo(cycle_graph(11), seed=0)
+        assert r.n_colors <= 3
+
+    def test_deterministic_given_seed(self, algo):
+        g = erdos_renyi(50, 0.4, seed=2)
+        a = algo(g, seed=9)
+        b = algo(g, seed=9)
+        np.testing.assert_array_equal(a.colors, b.colors)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=15, deadline=None)
+    def test_proper_on_random_instances(self, algo, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 60))
+        p = float(rng.random())
+        g = erdos_renyi(n, p, seed=seed)
+        r = algo(g, seed=seed)
+        assert g.validate_coloring(r.colors)
+        assert r.n_colors <= g.max_degree() + 1
+
+
+class TestRoundBehaviour:
+    def test_jp_rounds_logarithmic(self):
+        g = erdos_renyi(200, 0.1, seed=1)
+        r = jones_plassmann_ldf(g, seed=0)
+        assert 1 <= r.stats["rounds"] <= 60
+
+    def test_speculative_tracks_conflicts(self):
+        g = erdos_renyi(100, 0.5, seed=1)
+        r = speculative_coloring(g, seed=0)
+        assert "conflicts" in r.stats
+        assert r.stats["rounds"] >= 1
+
+
+class TestMemoryAccounting:
+    def test_speculative_uses_more_than_jp(self):
+        """Kokkos-EB analog keeps the edge list resident -> more bytes
+        (paper Table IV shape)."""
+        g = erdos_renyi(150, 0.5, seed=3)
+        spec = speculative_coloring(g, seed=0)
+        jp = jones_plassmann_ldf(g, seed=0)
+        assert spec.peak_bytes > jp.peak_bytes
+
+    def test_quality_comparable_to_greedy(self):
+        """Parallel baselines should be within ~2x of greedy-DLF quality."""
+        g = erdos_renyi(120, 0.5, seed=4)
+        ref = greedy_coloring(g, "dlf").n_colors
+        for algo in ALGOS:
+            assert algo(g, seed=0).n_colors <= 2 * ref

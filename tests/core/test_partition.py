@@ -1,0 +1,103 @@
+"""Tests for the unitary-partition application layer (Eq. 1–2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Picasso,
+    aggressive_params,
+    partition_from_coloring,
+    verify_unitarity,
+)
+from repro.chemistry import hydrogen_cluster, molecular_pauli_set
+from repro.coloring.base import ColoringResult
+from repro.pauli import PauliSet, random_pauli_set
+
+
+def h2_partition():
+    ps = molecular_pauli_set(hydrogen_cluster(2, 1), drop_identity=False)
+    # JW of a Hermitian Hamiltonian: real coefficients.
+    ps = PauliSet(ps.chars, ps.coefficients.real.astype(np.float64), ps.name)
+    result = Picasso(params=aggressive_params(), seed=0).color(ps)
+    return ps, partition_from_coloring(ps, result)
+
+
+class TestPartitionFromColoring:
+    def test_h2_valid_partition(self):
+        ps, part = h2_partition()
+        assert part.validate()
+        assert part.n_unitaries < ps.n
+        assert part.compression_ratio > 1.0
+
+    def test_groups_are_anticommuting_cliques(self):
+        ps, part = h2_partition()
+        oracle = ps.oracle()
+        for g in part.groups:
+            for a in range(g.size):
+                for b in range(a + 1, g.size):
+                    assert oracle.anticommute(
+                        np.array([g.members[a]]), np.array([g.members[b]])
+                    )[0]
+
+    def test_every_group_is_unitary(self):
+        """Matrix-level Eq. 2 check: each normalized group composes to a
+        unitary operator."""
+        _, part = h2_partition()
+        for k in range(part.n_unitaries):
+            assert verify_unitarity(part, k), f"group {k} not unitary"
+
+    def test_coefficient_norms(self):
+        ps, part = h2_partition()
+        for g in part.groups:
+            expect = np.sqrt(np.sum(np.abs(ps.coefficients[g.members]) ** 2))
+            assert abs(g.coefficient) == pytest.approx(expect)
+
+    def test_unit_coefficients_default(self):
+        ps = random_pauli_set(30, 5, seed=0)
+        result = Picasso(seed=0).color(ps)
+        part = partition_from_coloring(ps, result)
+        assert part.validate()
+        for g in part.groups:
+            assert abs(g.coefficient) == pytest.approx(np.sqrt(g.size))
+
+    def test_summary_fields(self):
+        _, part = h2_partition()
+        s = part.summary()
+        assert s["n_unitaries"] == part.n_unitaries
+        assert s["max_group"] >= s["mean_group"] >= 1 or s["singletons"] >= 0
+
+    def test_rejects_incomplete_coloring(self):
+        ps = random_pauli_set(10, 4, seed=1)
+        colors = np.full(10, -1, dtype=np.int64)
+        with pytest.raises(ValueError, match="incomplete"):
+            partition_from_coloring(ps, ColoringResult(colors, "x"))
+
+    def test_rejects_mismatched_sizes(self):
+        ps = random_pauli_set(10, 4, seed=1)
+        with pytest.raises(ValueError, match="does not match"):
+            partition_from_coloring(
+                ps, ColoringResult(np.zeros(5, dtype=np.int64), "x")
+            )
+
+    def test_validate_catches_non_clique(self):
+        """A commuting (non-anticommuting) pair in one group must fail."""
+        ps = PauliSet.from_strings(["XX", "YY", "XY"])  # XX,YY commute
+        part = partition_from_coloring(
+            ps, ColoringResult(np.array([0, 0, 1]), "x")
+        )
+        assert not part.validate()
+
+    def test_validate_catches_missing_vertex(self):
+        ps = random_pauli_set(6, 4, seed=2)
+        result = Picasso(seed=0).color(ps)
+        part = partition_from_coloring(ps, result)
+        part.groups = part.groups[:-1]  # drop a group
+        assert not part.validate()
+
+    def test_verify_unitarity_qubit_guard(self):
+        ps = random_pauli_set(5, 11, seed=3)
+        part = partition_from_coloring(
+            ps, ColoringResult(np.arange(5), "x")
+        )
+        with pytest.raises(MemoryError):
+            verify_unitarity(part, 0)

@@ -1,0 +1,59 @@
+"""Tests for the DeviceSim allocation ledger."""
+
+import pytest
+
+from repro.device import DeviceOutOfMemory, DeviceSim
+
+
+class TestAllocFree:
+    def test_basic_cycle(self):
+        dev = DeviceSim(budget_bytes=1000)
+        dev.alloc("a", 400)
+        assert dev.used_bytes == 400
+        assert dev.available == 600
+        dev.free("a")
+        assert dev.used_bytes == 0
+
+    def test_peak_tracking(self):
+        dev = DeviceSim(budget_bytes=1000)
+        dev.alloc("a", 300)
+        dev.alloc("b", 500)
+        dev.free("a")
+        dev.alloc("c", 100)
+        assert dev.peak_bytes == 800
+        dev.reset_peak()
+        assert dev.peak_bytes == dev.used_bytes == 600
+
+    def test_oom_raises_and_counts(self):
+        dev = DeviceSim(budget_bytes=100)
+        with pytest.raises(DeviceOutOfMemory):
+            dev.alloc("big", 101)
+        assert dev.n_ooms == 1
+        assert dev.used_bytes == 0  # failed alloc leaves no residue
+
+    def test_duplicate_name_rejected(self):
+        dev = DeviceSim(budget_bytes=100)
+        dev.alloc("x", 10)
+        with pytest.raises(ValueError):
+            dev.alloc("x", 10)
+
+    def test_free_unknown(self):
+        with pytest.raises(KeyError):
+            DeviceSim().free("ghost")
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            DeviceSim().alloc("neg", -1)
+
+    def test_free_all(self):
+        dev = DeviceSim(budget_bytes=100)
+        dev.alloc("a", 10)
+        dev.alloc("b", 20)
+        dev.free_all()
+        assert dev.used_bytes == 0
+        assert dev.live_allocations() == []
+
+    def test_zero_size_allowed(self):
+        dev = DeviceSim(budget_bytes=10)
+        dev.alloc("empty", 0)
+        assert dev.used_bytes == 0

@@ -1,0 +1,126 @@
+"""Tests for the CSR graph structure and edge-list builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import CSRGraph, from_edge_list, index_dtype
+
+
+def triangle() -> CSRGraph:
+    return from_edge_list([0, 1, 2], [1, 2, 0], 3)
+
+
+class TestFromEdgeList:
+    def test_triangle(self):
+        g = triangle()
+        assert g.n_vertices == 3
+        assert g.n_edges == 3
+        for v in range(3):
+            assert g.degree(v) == 2
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_isolated_vertices(self):
+        g = from_edge_list([0], [1], 5)
+        assert g.n_vertices == 5
+        assert g.degree(4) == 0
+        np.testing.assert_array_equal(g.degree(), [1, 1, 0, 0, 0])
+
+    def test_empty(self):
+        g = from_edge_list(np.empty(0, int), np.empty(0, int), 4)
+        assert g.n_edges == 0
+        assert g.max_degree() == 0
+        assert g.average_degree() == 0.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list([0], [0], 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list([0], [5], 3)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            from_edge_list([0, 1], [1], 3)
+
+    def test_dedupe(self):
+        g = from_edge_list([0, 1, 0], [1, 0, 1], 2, dedupe=True)
+        assert g.n_edges == 1
+
+    def test_index_dtype_switch(self):
+        assert index_dtype(100) == np.int32
+        assert index_dtype(2**31) == np.int64
+        g = triangle()
+        assert g.targets.dtype == np.int32
+
+
+class TestAccessors:
+    def test_edges_unique_ordered(self):
+        g = triangle()
+        e = g.edges()
+        assert e.shape == (3, 2)
+        assert (e[:, 0] < e[:, 1]).all()
+
+    def test_has_edge(self):
+        g = from_edge_list([0], [1], 3)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_max_and_average_degree(self):
+        g = from_edge_list([0, 0, 0], [1, 2, 3], 4)
+        assert g.max_degree() == 3
+        assert g.average_degree() == pytest.approx(6 / 4)
+
+    def test_nbytes_positive(self):
+        assert triangle().nbytes > 0
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([1], dtype=np.int32))
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 1]), np.empty(0, dtype=np.int32))
+
+
+class TestValidateColoring:
+    def test_proper(self):
+        g = triangle()
+        assert g.validate_coloring(np.array([0, 1, 2]))
+
+    def test_improper(self):
+        g = triangle()
+        assert not g.validate_coloring(np.array([0, 0, 1]))
+
+    def test_uncolored_fails(self):
+        g = triangle()
+        assert not g.validate_coloring(np.array([0, 1, -1]))
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            triangle().validate_coloring(np.array([0, 1]))
+
+    def test_empty_graph_any_colors(self):
+        g = from_edge_list(np.empty(0, int), np.empty(0, int), 3)
+        assert g.validate_coloring(np.zeros(3, dtype=int))
+
+
+class TestAgainstNetworkx:
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_degrees_match_networkx(self, n, p, seed):
+        import networkx as nx
+
+        from repro.graphs import erdos_renyi
+        from repro.graphs.ops import to_networkx
+
+        g = erdos_renyi(n, p, seed)
+        nxg = to_networkx(g)
+        assert nxg.number_of_edges() == g.n_edges
+        for v in range(n):
+            assert nxg.degree[v] == g.degree(v)

@@ -1,0 +1,86 @@
+"""Tests for pair-space partitioning and the process-pool conflict build."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import build_conflict_graph
+from repro.core.palette import assign_color_lists
+from repro.core.sources import PauliComplementSource
+from repro.parallel import parallel_conflict_graph, partition_pairs
+from repro.pauli import random_pauli_set
+from repro.util.chunking import num_pairs
+
+
+class TestPartition:
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_covers_exactly(self, n, parts):
+        ranges = partition_pairs(n, parts)
+        total = 0
+        prev_stop = 0
+        for r in ranges:
+            assert r.start == prev_stop
+            prev_stop = r.stop
+            total += len(r)
+        assert total == num_pairs(n)
+
+    def test_balanced(self):
+        ranges = partition_pairs(100, 7)
+        sizes = [len(r) for r in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            partition_pairs(10, 0)
+
+    def test_degenerate(self):
+        ranges = partition_pairs(1, 4)
+        assert sum(len(r) for r in ranges) == 0
+
+
+class TestParallelConflictGraph:
+    def _expected(self, ps, masks):
+        src = PauliComplementSource(ps)
+        return build_conflict_graph(ps.n, src.edge_mask, masks)
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 3])
+    def test_matches_sequential(self, n_workers):
+        ps = random_pauli_set(70, 6, seed=0)
+        _, masks = assign_color_lists(70, 12, 4, rng=0)
+        expect_g, expect_m = self._expected(ps, masks)
+        got_g, got_m = parallel_conflict_graph(
+            ps, masks, n_workers=n_workers, chunk_size=101
+        )
+        assert got_m == expect_m
+        np.testing.assert_array_equal(got_g.offsets, expect_g.offsets)
+        for v in range(70):
+            np.testing.assert_array_equal(
+                np.sort(got_g.neighbors(v)), np.sort(expect_g.neighbors(v))
+            )
+
+    def test_anticommute_orientation(self):
+        """want_anticommute flips which pairs count as edges."""
+        ps = random_pauli_set(40, 5, seed=1)
+        # Full palette overlap: every pair shares a color, so the
+        # conflict graph equals the underlying edge set.
+        _, masks = assign_color_lists(40, 2, 2, rng=0)
+        g_comm, m_comm = parallel_conflict_graph(ps, masks, n_workers=1)
+        g_anti, m_anti = parallel_conflict_graph(
+            ps, masks, n_workers=1, want_anticommute=True
+        )
+        assert m_comm + m_anti == num_pairs(40)
+
+    def test_empty_conflicts(self):
+        """Disjoint singleton lists across a huge palette -> few conflicts."""
+        ps = random_pauli_set(30, 5, seed=2)
+        lists = np.arange(30, dtype=np.int64).reshape(-1, 1)
+        from repro.util.bits import bitset_from_lists
+
+        masks = bitset_from_lists(lists, 30)
+        _, m = parallel_conflict_graph(ps, masks, n_workers=2)
+        assert m == 0

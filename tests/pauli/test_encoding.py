@@ -1,0 +1,82 @@
+"""Tests for Pauli encodings (char codes, inverse one-hot, symplectic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pauli import encoding as enc
+
+
+class TestStringsToChars:
+    def test_basic(self):
+        chars = enc.strings_to_chars(["IXYZ", "ZZII"])
+        np.testing.assert_array_equal(
+            chars, [[0, 1, 2, 3], [3, 3, 0, 0]]
+        )
+
+    def test_roundtrip(self):
+        strs = ["IXYZ", "XXXX", "IIII", "ZYXI"]
+        assert enc.chars_to_strings(enc.strings_to_chars(strs)) == strs
+
+    def test_empty(self):
+        assert enc.strings_to_chars([]).shape == (0, 0)
+
+    def test_invalid_char(self):
+        with pytest.raises(ValueError, match="invalid Pauli character"):
+            enc.strings_to_chars(["IXQZ"])
+
+    def test_ragged(self):
+        with pytest.raises(ValueError, match="ragged"):
+            enc.strings_to_chars(["IX", "IXY"])
+
+
+class TestIoohEncoding:
+    def test_single_char_codes(self):
+        # I=000, X=110(msb) -> bits LSB-first (0,1,1)=6, Y=101->5, Z=011->3
+        packed = enc.encode_iooh(np.array([[0], [1], [2], [3]], dtype=np.uint8))
+        np.testing.assert_array_equal(packed.ravel(), [0b000, 0b110, 0b101, 0b011])
+
+    def test_pairwise_and_parity_is_anticommute(self):
+        # For single Paulis: distinct non-identity anticommute.
+        packed = enc.encode_iooh(np.array([[0], [1], [2], [3]], dtype=np.uint8))
+        for a in range(4):
+            for b in range(4):
+                par = int(int(packed[a, 0] & packed[b, 0]).bit_count()) & 1
+                expect = 1 if (a != b and a != 0 and b != 0) else 0
+                assert par == expect, (a, b)
+
+    def test_word_boundary(self):
+        # 22 qubits -> 66 bits -> 2 words; last qubit's field straddles words.
+        chars = np.zeros((1, 22), dtype=np.uint8)
+        chars[0, 21] = 2  # Y -> (1,0,1) at bits 63,64,65
+        packed = enc.encode_iooh(chars)
+        assert packed.shape == (1, 2)
+        assert (packed[0, 0] >> np.uint64(63)) & np.uint64(1) == 1
+        assert packed[0, 1] == 0b10  # bit64=0, bit65=1
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decode_roundtrip(self, n, nq, seed):
+        rng = np.random.default_rng(seed)
+        chars = rng.integers(0, 4, size=(n, nq), dtype=np.uint8)
+        packed = enc.encode_iooh(chars)
+        np.testing.assert_array_equal(enc.decode_iooh(packed, nq), chars)
+
+
+class TestSymplectic:
+    def test_codes(self):
+        x, z = enc.encode_symplectic(np.array([[0, 1, 2, 3]], dtype=np.uint8))
+        # x bits: I=0 X=1 Y=1 Z=0 -> 0b0110; z bits: I=0 X=0 Y=1 Z=1 -> 0b1100
+        assert x[0, 0] == 0b0110
+        assert z[0, 0] == 0b1100
+
+
+class TestWeight:
+    def test_weight(self):
+        chars = enc.strings_to_chars(["IIII", "XIXI", "XYZX"])
+        np.testing.assert_array_equal(enc.weight(chars), [0, 2, 4])

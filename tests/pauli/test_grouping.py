@@ -1,0 +1,120 @@
+"""Tests for the three Pauli-grouping relations (§III)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chemistry import hn_pauli_set
+from repro.pauli import (
+    PauliSet,
+    group_pauli_set,
+    qubitwise_commute_pairs,
+    random_pauli_set,
+    validate_grouping,
+)
+from repro.pauli.grouping import PauliRelationSource
+from repro.pauli.encoding import strings_to_chars
+
+
+class TestQubitwiseKernel:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("XX", "XX", 1),  # identical
+            ("XI", "IX", 1),  # identity-disjoint supports
+            ("XZ", "XZ", 1),
+            ("XI", "YI", 0),  # X vs Y at position 0
+            ("XX", "XY", 0),
+            ("II", "ZZ", 1),  # identity matches anything
+        ],
+    )
+    def test_cases(self, a, b, expected):
+        chars = strings_to_chars([a, b])
+        got = qubitwise_commute_pairs(chars, np.array([0]), np.array([1]))[0]
+        assert got == expected
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_qwc_implies_commute(self, seed):
+        """QWC-compatible pairs must also generally commute."""
+        ps = random_pauli_set(30, 5, seed=seed)
+        src_q = PauliRelationSource(ps, "qubitwise")
+        src_c = PauliRelationSource(ps, "commute")
+        ii, jj = np.triu_indices(30, k=1)
+        qwc = src_q.compatible(ii, jj).astype(bool)
+        gc = src_c.compatible(ii, jj).astype(bool)
+        assert (gc | ~qwc).all()  # qwc -> gc
+
+
+class TestRelationSource:
+    def test_unknown_relation(self):
+        with pytest.raises(ValueError):
+            PauliRelationSource(random_pauli_set(5, 3, seed=0), "friendly")
+
+    def test_edge_mask_complements_compatible(self):
+        ps = random_pauli_set(20, 4, seed=1)
+        for rel in ("anticommute", "commute", "qubitwise"):
+            src = PauliRelationSource(ps, rel)
+            ii, jj = np.triu_indices(20, k=1)
+            total = src.edge_mask(ii, jj) + src.compatible(ii, jj)
+            np.testing.assert_array_equal(total, 1)
+
+    def test_subset_preserves_relation(self):
+        ps = random_pauli_set(15, 4, seed=2)
+        src = PauliRelationSource(ps, "qubitwise")
+        sub = src.subset(np.array([1, 4, 9]))
+        assert sub.relation == "qubitwise"
+        assert sub.n == 3
+
+
+class TestGroupPauliSet:
+    @pytest.mark.parametrize("relation", ["anticommute", "commute", "qubitwise"])
+    def test_groups_valid(self, relation):
+        ps = random_pauli_set(60, 5, seed=3)
+        grouping = group_pauli_set(ps, relation, seed=0)
+        assert validate_grouping(ps, grouping)
+        assert grouping.n_colors == len(
+            [g for g in grouping.groups if len(g)]
+        )
+
+    def test_reduction_ordering_on_molecule(self):
+        """QWC is the most restrictive relation, GC the loosest: the
+        group counts must order QWC >= anticommute, and GC typically
+        gives the fewest groups (all-commuting Hamiltonian families)."""
+        ps = hn_pauli_set(3, 1, "sto3g")
+        counts = {
+            rel: group_pauli_set(ps, rel, seed=0).n_colors
+            for rel in ("anticommute", "commute", "qubitwise")
+        }
+        assert counts["qubitwise"] >= counts["commute"]
+        assert counts["commute"] <= counts["anticommute"]
+        # Every scheme must actually compress.
+        for rel, c in counts.items():
+            assert c < ps.n, rel
+
+    def test_reduction_metric(self):
+        ps = random_pauli_set(40, 5, seed=4)
+        g = group_pauli_set(ps, "commute", seed=0)
+        assert g.reduction == pytest.approx(40 / g.n_colors)
+
+    def test_validate_catches_bad_group(self):
+        ps = PauliSet.from_strings(["XX", "YY", "XY"])
+        from repro.pauli.grouping import GroupingResult
+
+        # XX and XY anticommute, so they cannot share a QWC group.
+        bad = GroupingResult(
+            relation="qubitwise",
+            groups=[np.array([0, 2]), np.array([1])],
+            n_colors=2,
+        )
+        assert not validate_grouping(ps, bad)
+
+    def test_validate_catches_missing_vertices(self):
+        ps = random_pauli_set(10, 4, seed=5)
+        from repro.pauli.grouping import GroupingResult
+
+        partial = GroupingResult(
+            relation="commute", groups=[np.arange(5)], n_colors=1
+        )
+        assert not validate_grouping(ps, partial)

@@ -1,0 +1,108 @@
+"""Tests for the PauliSet container and text IO."""
+
+import numpy as np
+import pytest
+
+from repro.pauli import PauliSet, load_pauli_set, random_pauli_set, save_pauli_set
+from repro.pauli.random import random_pauli_set_density
+
+
+class TestPauliSet:
+    def test_from_strings_basic(self):
+        ps = PauliSet.from_strings(["XY", "ZI"], name="toy")
+        assert ps.n == 2
+        assert ps.n_qubits == 2
+        assert len(ps) == 2
+        assert ps.to_strings() == ["XY", "ZI"]
+
+    def test_coefficients_shape_check(self):
+        with pytest.raises(ValueError):
+            PauliSet.from_strings(["XY", "ZI"], coefficients=np.ones(3))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            PauliSet(np.zeros(4, dtype=np.uint8))
+
+    def test_subset(self):
+        ps = PauliSet.from_strings(["XX", "YY", "ZZ"], coefficients=np.arange(3.0))
+        sub = ps.subset(np.array([2, 0]))
+        assert sub.to_strings() == ["ZZ", "XX"]
+        np.testing.assert_array_equal(sub.coefficients, [2.0, 0.0])
+
+    def test_dedupe_sums_coefficients(self):
+        ps = PauliSet.from_strings(
+            ["XX", "YY", "XX"], coefficients=np.array([1.0, 2.0, 3.0])
+        )
+        dd = ps.dedupe()
+        assert dd.n == 2
+        strings = dd.to_strings()
+        assert strings == ["XX", "YY"]
+        np.testing.assert_allclose(dd.coefficients, [4.0, 2.0])
+
+    def test_drop_identity(self):
+        ps = PauliSet.from_strings(["II", "XY", "II"])
+        assert ps.drop_identity().to_strings() == ["XY"]
+
+    def test_weights(self):
+        ps = PauliSet.from_strings(["II", "XI", "XY"])
+        np.testing.assert_array_equal(ps.weights(), [0, 1, 2])
+
+    def test_oracle_cached(self):
+        ps = random_pauli_set(10, 4, seed=1)
+        assert ps.oracle() is ps.oracle()
+
+    def test_nbytes(self):
+        ps = random_pauli_set(10, 4, seed=1)
+        assert ps.nbytes == 40
+
+
+class TestRandomGenerators:
+    def test_unique(self):
+        ps = random_pauli_set(50, 4, seed=7)
+        assert ps.n == 50
+        assert len(set(ps.to_strings())) == 50
+
+    def test_too_many_unique_raises(self):
+        with pytest.raises(ValueError):
+            random_pauli_set(17, 2, seed=0)  # 4^2 = 16 possible
+
+    def test_reproducible(self):
+        a = random_pauli_set(20, 5, seed=42)
+        b = random_pauli_set(20, 5, seed=42)
+        np.testing.assert_array_equal(a.chars, b.chars)
+
+    def test_density_extremes(self):
+        dense_i = random_pauli_set_density(200, 10, identity_fraction=0.8, seed=0)
+        sparse_i = random_pauli_set_density(200, 10, identity_fraction=0.05, seed=0)
+        assert dense_i.weights().mean() < sparse_i.weights().mean()
+
+    def test_density_validates(self):
+        with pytest.raises(ValueError):
+            random_pauli_set_density(10, 4, identity_fraction=1.0)
+
+
+class TestIO:
+    def test_roundtrip_with_coeffs(self, tmp_path):
+        ps = PauliSet.from_strings(
+            ["XYZI", "IIXX"], coefficients=np.array([0.5 + 0.25j, -1.0]), name="demo"
+        )
+        path = tmp_path / "ps.txt"
+        save_pauli_set(ps, path)
+        back = load_pauli_set(path)
+        assert back.name == "demo"
+        assert back.to_strings() == ps.to_strings()
+        np.testing.assert_allclose(back.coefficients, ps.coefficients)
+
+    def test_roundtrip_without_coeffs(self, tmp_path):
+        ps = PauliSet.from_strings(["XY", "ZI"])
+        path = tmp_path / "ps.txt"
+        save_pauli_set(ps, path)
+        back = load_pauli_set(path)
+        assert back.coefficients is None
+        assert back.to_strings() == ["XY", "ZI"]
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "ps.txt"
+        path.write_text("# comment\n\nXY 1.0\nZI 2.0\n")
+        back = load_pauli_set(path)
+        assert back.n == 2

@@ -1,0 +1,52 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.predict import mape, r2_score
+
+
+class TestMape:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mape(y, y) == 0.0
+
+    def test_known_value(self):
+        assert mape(np.array([100.0]), np.array([90.0])) == pytest.approx(0.1)
+
+    def test_multi_output(self):
+        y = np.array([[10.0, 100.0], [20.0, 200.0]])
+        p = np.array([[11.0, 110.0], [22.0, 220.0]])
+        assert mape(y, p) == pytest.approx(0.1)
+
+    def test_zero_target_guarded(self):
+        assert np.isfinite(mape(np.array([0.0]), np.array([1.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mape(np.zeros(3), np.zeros(4))
+
+
+class TestR2:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        p = np.full(3, y.mean())
+        assert r2_score(y, p) == pytest.approx(0.0)
+
+    def test_worse_than_mean_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        p = np.array([3.0, 1.0, -2.0])
+        assert r2_score(y, p) < 0
+
+    def test_constant_target(self):
+        y = np.ones(4)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 0.5) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            r2_score(np.zeros(3), np.zeros((3, 2)))

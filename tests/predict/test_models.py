@@ -1,0 +1,162 @@
+"""Tests for the from-scratch regressors."""
+
+import numpy as np
+import pytest
+
+from repro.predict import (
+    DecisionTreeRegressor,
+    LassoRegressor,
+    RandomForestRegressor,
+    RidgeRegressor,
+    r2_score,
+)
+
+
+def linear_data(n=200, d=4, noise=0.05, seed=0, k_outputs=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    W = rng.normal(size=(d, k_outputs))
+    y = X @ W + noise * rng.normal(size=(n, k_outputs))
+    return X, (y[:, 0] if k_outputs == 1 else y)
+
+
+class TestRidge:
+    def test_recovers_linear_function(self):
+        X, y = linear_data()
+        model = RidgeRegressor(alpha=0.01).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.98
+
+    def test_multi_output(self):
+        X, y = linear_data(k_outputs=3)
+        model = RidgeRegressor(alpha=0.01).fit(X, y)
+        pred = model.predict(X)
+        assert pred.shape == y.shape
+        assert r2_score(y, pred) > 0.98
+
+    def test_regularization_shrinks(self):
+        X, y = linear_data()
+        small = RidgeRegressor(alpha=0.01).fit(X, y)
+        large = RidgeRegressor(alpha=1e5).fit(X, y)
+        assert np.abs(large.coef_).sum() < np.abs(small.coef_).sum()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegressor().predict(np.zeros((1, 2)))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1)
+
+    def test_constant_feature_safe(self):
+        X = np.ones((50, 2))
+        X[:, 1] = np.arange(50)
+        y = X[:, 1] * 2.0
+        model = RidgeRegressor(alpha=0.01).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+
+class TestLasso:
+    def test_fits_linear(self):
+        X, y = linear_data()
+        model = LassoRegressor(alpha=0.001).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.95
+
+    def test_sparsity(self):
+        """Irrelevant features should be zeroed at strong alpha."""
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 6))
+        y = 3.0 * X[:, 0] + 0.01 * rng.normal(size=300)  # only feature 0 matters
+        model = LassoRegressor(alpha=0.3).fit(X, y)
+        w = np.abs(model.coef_[:, 0])
+        assert w[0] > 0.5
+        assert (w[1:] < 0.05).all()
+
+    def test_converges(self):
+        X, y = linear_data(n=100)
+        model = LassoRegressor(alpha=0.01, max_iter=500).fit(X, y)
+        assert model.n_iter_ <= 500
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 200)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.99
+
+    def test_interpolates_training_data_at_full_depth(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        model = DecisionTreeRegressor(max_depth=50).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.999
+
+    def test_depth_cap(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 2))
+        y = rng.normal(size=200)
+        model = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        assert model.depth() <= 4
+
+    def test_min_samples_leaf(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = np.arange(10, dtype=float)
+        model = DecisionTreeRegressor(max_depth=10, min_samples_leaf=5).fit(X, y)
+        # Leaves of >=5 samples: at most 2 leaves for 10 points.
+        assert len(np.unique(model.predict(X))) <= 2
+
+    def test_multi_output(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = np.stack([(X[:, 0] > 0.3), (X[:, 0] > 0.7)], axis=1).astype(float)
+        model = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.99
+
+    def test_constant_target(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = np.ones(10)
+        model = DecisionTreeRegressor().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), 1.0)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+
+class TestRandomForest:
+    def test_fits_nonlinear(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(X[:, 0]) * np.cos(X[:, 1])
+        model = RandomForestRegressor(n_estimators=30, seed=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.85
+
+    def test_beats_single_tree_out_of_sample(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-2, 2, size=(300, 3))
+        y = X[:, 0] ** 2 + X[:, 1] - X[:, 2] + 0.3 * rng.normal(size=300)
+        Xt = rng.uniform(-2, 2, size=(150, 3))
+        yt = Xt[:, 0] ** 2 + Xt[:, 1] - Xt[:, 2]
+        tree = DecisionTreeRegressor(max_depth=20, seed=0).fit(X, y)
+        forest = RandomForestRegressor(n_estimators=40, seed=0).fit(X, y)
+        assert r2_score(yt, forest.predict(Xt)) > r2_score(yt, tree.predict(Xt)) - 0.02
+
+    def test_multi_output_shape(self):
+        X, y = linear_data(k_outputs=2, n=100)
+        model = RandomForestRegressor(n_estimators=10, seed=0).fit(X, y)
+        assert model.predict(X).shape == y.shape
+
+    def test_reproducible(self):
+        X, y = linear_data(n=80)
+        a = RandomForestRegressor(n_estimators=5, seed=7).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=5, seed=7).fit(X, y).predict(X)
+        np.testing.assert_allclose(a, b)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))

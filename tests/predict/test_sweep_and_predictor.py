@@ -1,0 +1,139 @@
+"""Tests for the sweep harness, dataset builder, and end-to-end predictor."""
+
+import numpy as np
+import pytest
+
+from repro.pauli import random_pauli_set
+from repro.predict import (
+    PaletteParamsPredictor,
+    SweepPoint,
+    build_dataset,
+    compare_models,
+    normalize_objectives,
+    objective,
+    optimal_frontier,
+    optimal_point,
+    run_sweep,
+)
+
+SMALL_GRID = dict(palette_percents=(5.0, 15.0), alphas=(1.0, 3.0))
+
+
+def tiny_sweep(seed=0):
+    ps = random_pauli_set(60, 5, seed=seed, name=f"toy{seed}")
+    return ps, run_sweep(ps, seed=seed, **SMALL_GRID)
+
+
+class TestSweep:
+    def test_grid_coverage(self):
+        _, points = tiny_sweep()
+        assert len(points) == 4
+        combos = {(p.palette_percent, p.alpha) for p in points}
+        assert combos == {(5.0, 1.0), (5.0, 3.0), (15.0, 1.0), (15.0, 3.0)}
+
+    def test_points_well_formed(self):
+        _, points = tiny_sweep()
+        for p in points:
+            assert p.n_colors > 0
+            assert p.max_conflict_edges >= 0
+            assert p.n_iterations >= 1
+
+    def test_tradeoff_direction(self):
+        """Lower palette percent should not *increase* colors much and
+        should raise conflicts (Fig. 5 trend), checked at grid corners."""
+        _, points = tiny_sweep()
+        by_key = {(p.palette_percent, p.alpha): p for p in points}
+        lo = by_key[(5.0, 3.0)]
+        hi = by_key[(15.0, 3.0)]
+        assert lo.n_colors <= hi.n_colors + 2
+        assert lo.max_conflict_edges >= hi.max_conflict_edges
+
+
+class TestObjective:
+    def _mk(self, c, e):
+        return SweepPoint(1.0, 1.0, c, e, 0.0, 1)
+
+    def test_beta_extremes(self):
+        points = [self._mk(10, 1000), self._mk(50, 10)]
+        # beta ~ 1: colors dominate -> pick the 10-color point.
+        assert optimal_point(points, 0.99).n_colors == 10
+        # beta ~ 0: conflicts dominate -> pick the 10-edge point.
+        assert optimal_point(points, 0.01).max_conflict_edges == 10
+
+    def test_normalization(self):
+        points = [self._mk(10, 1000), self._mk(50, 10)]
+        cn, en = normalize_objectives(points)
+        np.testing.assert_allclose(cn, [0.0, 1.0])
+        np.testing.assert_allclose(en, [1.0, 0.0])
+
+    def test_constant_objective_safe(self):
+        points = [self._mk(10, 10), self._mk(10, 10)]
+        cn, en = normalize_objectives(points)
+        assert (cn == 0).all() and (en == 0).all()
+
+    def test_objective_validates_beta(self):
+        with pytest.raises(ValueError):
+            objective(1.5, np.zeros(2), np.zeros(2))
+
+    def test_empty_sweep(self):
+        with pytest.raises(ValueError):
+            optimal_point([], 0.5)
+
+    def test_frontier_covers_betas(self):
+        _, points = tiny_sweep()
+        frontier = optimal_frontier(points, betas=(0.2, 0.8))
+        assert [b for b, _ in frontier] == [0.2, 0.8]
+
+
+class TestDatasetAndPredictor:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        sets = [
+            random_pauli_set(50 + 25 * k, 5, seed=k, name=f"mol{k}")
+            for k in range(4)
+        ]
+        return build_dataset(sets, betas=(0.3, 0.7), seed=0, **SMALL_GRID)
+
+    def test_dataset_shape(self, dataset):
+        assert dataset.X.shape == (8, 3)  # 4 inputs x 2 betas
+        assert dataset.y.shape == (8, 2)
+        assert len(dataset.input_names) == 8
+
+    def test_split_by_input(self, dataset):
+        train, test = dataset.split_by_input({"mol3"})
+        assert len(test) == 2
+        assert len(train) == 6
+        assert set(test.input_names) == {"mol3"}
+
+    def test_targets_on_grid(self, dataset):
+        assert set(np.unique(dataset.y[:, 0])) <= {5.0, 15.0}
+        assert set(np.unique(dataset.y[:, 1])) <= {1.0, 3.0}
+
+    def test_predictor_end_to_end(self, dataset):
+        train, test = dataset.split_by_input({"mol3"})
+        predictor = PaletteParamsPredictor(model="forest", seed=0).fit(train)
+        pp, alpha = predictor.predict(0.5, 100, 2500)
+        assert 0.5 <= pp <= 100.0
+        assert 0.25 <= alpha <= 64.0
+        metrics = predictor.evaluate(test)
+        assert set(metrics) == {"mape", "r2"}
+        assert np.isfinite(metrics["mape"])
+
+    def test_predict_params_integration(self, dataset):
+        predictor = PaletteParamsPredictor(model="tree", seed=0).fit(dataset)
+        params = predictor.predict_params(0.5, 100, 2500, max_iterations=50)
+        assert 0.0 < params.palette_fraction <= 1.0
+        assert params.max_iterations == 50
+
+    def test_compare_models_runs_all(self, dataset):
+        train, test = dataset.split_by_input({"mol3"})
+        out = compare_models(train, test, models=("ridge", "tree"), seed=0)
+        assert set(out) == {"ridge", "tree"}
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            PaletteParamsPredictor(model="svm")
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            PaletteParamsPredictor().predict(0.5, 10, 10)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface (direct main() invocation)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def pauli_file(tmp_path):
+    from repro.pauli import random_pauli_set, save_pauli_set
+
+    path = tmp_path / "input.txt"
+    save_pauli_set(random_pauli_set(40, 5, seed=0), path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "h2.txt"
+        rc = main(["generate", "--atoms", "2", "--output", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "4 qubits" in capsys.readouterr().out
+
+    def test_generate_bk(self, tmp_path):
+        out = tmp_path / "h2bk.txt"
+        assert main([
+            "generate", "--atoms", "2", "--transform", "bravyi_kitaev",
+            "--output", str(out),
+        ]) == 0
+
+
+class TestColor:
+    def test_picasso_default(self, pauli_file, capsys):
+        rc = main(["color", pauli_file, "--validate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "picasso" in out
+        assert "validated" in out
+
+    def test_presets_and_overrides(self, pauli_file, capsys):
+        rc = main([
+            "color", pauli_file, "--preset", "aggressive",
+            "--palette-percent", "10", "--alpha", "3", "--validate",
+        ])
+        assert rc == 0
+
+    @pytest.mark.parametrize(
+        "algo", ["greedy-dlf", "greedy-lf", "jp", "speculative"]
+    )
+    def test_baselines(self, pauli_file, algo, capsys):
+        rc = main(["color", pauli_file, "--algorithm", algo, "--validate"])
+        assert rc == 0
+        assert "colors" in capsys.readouterr().out
+
+    def test_writes_colors(self, pauli_file, tmp_path):
+        out = tmp_path / "colors.txt"
+        assert main(["color", pauli_file, "--output", str(out)]) == 0
+        colors = np.loadtxt(out, dtype=np.int64)
+        assert colors.shape == (40,)
+        assert (colors >= 0).all()
+
+
+class TestSweepAndCensusAndTaper:
+    def test_sweep(self, pauli_file, capsys):
+        rc = main([
+            "sweep", pauli_file,
+            "--palette-percents", "5", "15", "--alphas", "1", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Eq. 7 optima" in out
+        assert "beta=0.5" in out
+
+    def test_census_small(self, capsys):
+        assert main(["census", "--tier", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "H2_1D_sto3g" in out
+
+    def test_taper(self, capsys):
+        assert main(["taper", "--atoms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Z2 symmetries" in out
+        assert "tapered to" in out
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,46 @@
+"""Tests for the molecule-suite registry."""
+
+import pytest
+
+from repro.datasets import (
+    MOLECULE_SUITE,
+    load_molecule,
+    molecule_suite,
+    suite_specs,
+)
+
+
+class TestRegistry:
+    def test_tiers_partition_suite(self):
+        total = sum(len(suite_specs(t)) for t in ("small", "medium", "large"))
+        assert total == len(MOLECULE_SUITE)
+        assert len(suite_specs()) == len(MOLECULE_SUITE)
+
+    def test_unknown_tier(self):
+        with pytest.raises(ValueError):
+            suite_specs("huge")
+
+    def test_names_unique(self):
+        names = [s.name for s in MOLECULE_SUITE]
+        assert len(set(names)) == len(names)
+
+    def test_load_by_name(self):
+        ps = load_molecule("H2_1D_sto3g")
+        assert ps.n_qubits == 4
+        assert ps.n > 0
+
+    def test_load_cached(self):
+        assert load_molecule("H2_1D_sto3g") is load_molecule("H2_1D_sto3g")
+
+    def test_unknown_molecule(self):
+        with pytest.raises(KeyError):
+            load_molecule("He3_9D_sto3g")
+
+    def test_small_tier_loads(self):
+        suite = molecule_suite("small")
+        assert len(suite) == len(suite_specs("small"))
+        sizes = [ps.n for ps in suite.values()]
+        assert min(sizes) > 10
+        # Paper's qubit counts must hold for the analog suite.
+        assert suite["H6_1D_sto3g"].n_qubits == 12
+        assert suite["H4_1D_sto3g"].n_qubits == 8

@@ -1,0 +1,47 @@
+"""Smoke tests for the runnable examples (the fast ones).
+
+The heavier examples (molecule_partitioning, parameter_prediction,
+streaming_large_graph) are exercised implicitly by the benchmark
+harness; here we pin the quick ones end to end so a refactor cannot
+silently break the documented entry points.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    sys.argv = [str(path)]
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Picasso partitioned" in out
+        assert "unitaries" in out
+
+    def test_qubit_tapering(self, capsys):
+        out = run_example("qubit_tapering.py", capsys)
+        assert "Z2 symmetries found: 2" in out
+        assert "compound reduction" in out
+
+    def test_all_examples_importable(self):
+        """Every example must at least parse (no syntax rot)."""
+        import ast
+
+        for path in EXAMPLES.glob("*.py"):
+            ast.parse(path.read_text(), filename=str(path))
+
+    def test_examples_documented_in_readme(self):
+        readme = (EXAMPLES.parent / "README.md").read_text()
+        for path in EXAMPLES.glob("*.py"):
+            assert path.name in readme, f"{path.name} missing from README"

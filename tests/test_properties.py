@@ -1,0 +1,169 @@
+"""Cross-module property-based tests (hypothesis) on the invariants the
+whole system rests on.
+
+These complement the per-module suites: each property here spans at
+least two subsystems (e.g. chemistry -> pauli -> core), pinning the
+end-to-end contracts the paper's correctness depends on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import greedy_coloring
+from repro.core import Picasso, PicassoParams, partition_from_coloring
+from repro.core.sources import PauliComplementSource
+from repro.graphs import complement_graph, erdos_renyi
+from repro.pauli import PauliSet, random_pauli_set
+from repro.util.chunking import num_pairs
+
+pauli_instances = st.tuples(
+    st.integers(min_value=2, max_value=60),   # n strings
+    st.integers(min_value=2, max_value=8),    # qubits
+    st.integers(min_value=0, max_value=2**32),
+)
+
+picasso_params = st.tuples(
+    st.floats(min_value=0.02, max_value=0.6),
+    st.floats(min_value=0.5, max_value=8.0),
+)
+
+
+class TestPicassoEndToEnd:
+    @given(pauli_instances, picasso_params)
+    @settings(max_examples=25, deadline=None)
+    def test_always_proper_and_complete(self, inst, params):
+        n, nq, seed = inst
+        pf, alpha = params
+        if n > 4**nq:
+            n = 4**nq
+        ps = random_pauli_set(n, nq, seed=seed)
+        result = Picasso(
+            params=PicassoParams(palette_fraction=pf, alpha=alpha), seed=seed
+        ).color(ps)
+        assert (result.colors >= 0).all()
+        assert PauliComplementSource(ps).validate(result.colors)
+
+    @given(pauli_instances)
+    @settings(max_examples=15, deadline=None)
+    def test_partition_groups_are_anticommuting(self, inst):
+        n, nq, seed = inst
+        if n > 4**nq:
+            n = 4**nq
+        ps = random_pauli_set(n, nq, seed=seed)
+        result = Picasso(seed=seed).color(ps)
+        part = partition_from_coloring(ps, result)
+        assert part.validate()
+
+    @given(pauli_instances)
+    @settings(max_examples=15, deadline=None)
+    def test_iteration_bookkeeping(self, inst):
+        """Per-iteration colored/uncolored counts must telescope, and
+        colors must stay within the cumulative palette windows."""
+        n, nq, seed = inst
+        if n > 4**nq:
+            n = 4**nq
+        ps = random_pauli_set(n, nq, seed=seed)
+        result = Picasso(seed=seed).color(ps)
+        active = n
+        for s in result.iterations:
+            assert s.n_active == active
+            assert s.n_colored + s.n_uncolored == active
+            assert s.list_size <= s.palette_size
+            active = s.n_uncolored
+        assert active == 0
+        assert result.colors.max() < sum(
+            s.palette_size for s in result.iterations
+        )
+
+    @given(pauli_instances)
+    @settings(max_examples=10, deadline=None)
+    def test_matches_explicit_graph_semantics(self, inst):
+        """Coloring the PauliSet (streamed) and the explicit complement
+        graph must both be proper w.r.t. the same edge set."""
+        n, nq, seed = inst
+        if n > 4**nq:
+            n = 4**nq
+        ps = random_pauli_set(n, nq, seed=seed)
+        g = complement_graph(ps)
+        streamed = Picasso(seed=seed).color(ps)
+        explicit = Picasso(seed=seed).color(g)
+        assert g.validate_coloring(streamed.colors)
+        assert g.validate_coloring(explicit.colors)
+
+
+class TestColoringLowerBounds:
+    @given(
+        st.integers(min_value=2, max_value=50),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_all_algorithms_beat_clique_lower_bound(self, n, p, seed):
+        """Any proper coloring needs at least omega(G) colors; greedy
+        and Picasso must respect a cheap clique witness."""
+        import networkx as nx
+
+        from repro.graphs.ops import to_networkx
+
+        g = erdos_renyi(n, p, seed=seed)
+        # The approximation returns a genuine clique, hence a genuine
+        # lower bound on the chromatic number.
+        witness = nx.algorithms.approximation.max_clique(to_networkx(g))
+        for result in (
+            greedy_coloring(g, "dlf"),
+            Picasso(seed=seed).color(g),
+        ):
+            assert result.n_colors >= len(witness)
+            assert g.validate_coloring(result.colors)
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=10, deadline=None)
+    def test_complete_graph_exactness(self, n):
+        from repro.graphs import complete_graph
+
+        g = complete_graph(n)
+        assert greedy_coloring(g, "sl").n_colors == n
+        assert Picasso(seed=0).color(g).n_colors == n
+
+
+class TestEncodingContracts:
+    @given(pauli_instances)
+    @settings(max_examples=20, deadline=None)
+    def test_edge_partition_exact(self, inst):
+        """Anticommute + commute edges partition all pairs exactly —
+        the identity that lets Table II report |E| by streaming."""
+        n, nq, seed = inst
+        if n > 4**nq:
+            n = 4**nq
+        ps = random_pauli_set(n, nq, seed=seed)
+        from repro.graphs import anticommute_edge_count, complement_edge_count
+
+        assert (
+            anticommute_edge_count(ps) + complement_edge_count(ps)
+            == num_pairs(ps.n)
+        )
+
+    @given(st.lists(st.sampled_from("IXYZ"), min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_self_commutes(self, letters):
+        ps = PauliSet.from_strings(["".join(letters)] * 2)
+        orc = ps.oracle()
+        assert orc.anticommute(np.array([0]), np.array([1]))[0] == 0
+
+
+class TestChemistryContracts:
+    @pytest.mark.parametrize("n_atoms,dim", [(2, 1), (3, 1), (2, 2)])
+    def test_jw_bk_same_term_support_size(self, n_atoms, dim):
+        """JW and BK of the same Hamiltonian have equal term counts up
+        to compression (they are basis changes of each other)."""
+        from repro.chemistry import hn_pauli_set
+
+        jw = hn_pauli_set(n_atoms, dim, "sto3g", transform="jordan_wigner")
+        bk = hn_pauli_set(n_atoms, dim, "sto3g", transform="bravyi_kitaev")
+        assert jw.n_qubits == bk.n_qubits
+        # Same operator in two encodings: coefficients multisets match.
+        a = np.sort(np.round(np.abs(jw.coefficients), 9))
+        b = np.sort(np.round(np.abs(bk.coefficients), 9))
+        np.testing.assert_allclose(a, b, atol=1e-8)

@@ -1,0 +1,91 @@
+"""Tests for flat pair-index chunking (the GPU-kernel decomposition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.chunking import iter_pair_chunks, num_pairs, pair_index_to_ij
+
+
+class TestNumPairs:
+    def test_small_values(self):
+        assert num_pairs(0) == 0
+        assert num_pairs(1) == 0
+        assert num_pairs(2) == 1
+        assert num_pairs(5) == 10
+
+    def test_large(self):
+        n = 2_000_000
+        assert num_pairs(n) == n * (n - 1) // 2
+
+
+class TestPairIndexToIJ:
+    def test_n2(self):
+        i, j = pair_index_to_ij(np.array([0]), 2)
+        assert (i[0], j[0]) == (0, 1)
+
+    def test_exhaustive_small(self):
+        for n in range(2, 30):
+            k = np.arange(num_pairs(n))
+            i, j = pair_index_to_ij(k, n)
+            expected = [(a, b) for a in range(n) for b in range(a + 1, n)]
+            got = list(zip(i.tolist(), j.tolist()))
+            assert got == expected
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            pair_index_to_ij(np.array([num_pairs(5)]), 5)
+        with pytest.raises(ValueError):
+            pair_index_to_ij(np.array([-1]), 5)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_boundaries_each_row(self, n):
+        # First and last flat index of a sampled row must invert correctly.
+        rng = np.random.default_rng(n)
+        rows = rng.integers(0, n - 1, size=5)
+        firsts = rows * n - rows * (rows + 1) // 2
+        i, j = pair_index_to_ij(firsts, n)
+        np.testing.assert_array_equal(i, rows)
+        np.testing.assert_array_equal(j, rows + 1)
+        lasts = firsts + (n - rows - 1) - 1
+        i2, j2 = pair_index_to_ij(lasts, n)
+        np.testing.assert_array_equal(i2, rows)
+        np.testing.assert_array_equal(j2, n - 1)
+
+    def test_huge_n_no_overflow(self):
+        n = 3_000_000
+        total = num_pairs(n)
+        k = np.array([0, total - 1, total // 2], dtype=np.int64)
+        i, j = pair_index_to_ij(k, n)
+        assert (i[0], j[0]) == (0, 1)
+        assert (i[1], j[1]) == (n - 2, n - 1)
+        # Invert: k == offset(i) + (j - i - 1)
+        off = i * n - i * (i + 1) // 2
+        np.testing.assert_array_equal(off + j - i - 1, k)
+
+
+class TestIterPairChunks:
+    def test_covers_all_pairs_once(self):
+        n = 23
+        seen = set()
+        for i, j in iter_pair_chunks(n, 17):
+            assert len(i) <= 17
+            for a, b in zip(i.tolist(), j.tolist()):
+                assert a < b
+                assert (a, b) not in seen
+                seen.add((a, b))
+        assert len(seen) == num_pairs(n)
+
+    def test_single_chunk(self):
+        chunks = list(iter_pair_chunks(10, 10_000))
+        assert len(chunks) == 1
+        assert len(chunks[0][0]) == num_pairs(10)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_pair_chunks(5, 0))
+
+    def test_empty_graph(self):
+        assert list(iter_pair_chunks(1, 4)) == []

@@ -1,0 +1,87 @@
+"""Tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.gf2 import gf2_nullspace, gf2_rank, gf2_row_reduce, gf2_solve
+
+
+class TestRowReduce:
+    def test_identity(self):
+        rref, pivots = gf2_row_reduce(np.eye(3, dtype=np.uint8))
+        np.testing.assert_array_equal(rref, np.eye(3, dtype=np.uint8))
+        assert pivots == [0, 1, 2]
+
+    def test_dependent_rows(self):
+        m = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+        # Row 3 = row 1 XOR row 2.
+        assert gf2_rank(m) == 2
+
+    def test_zero_matrix(self):
+        rref, pivots = gf2_row_reduce(np.zeros((2, 3), dtype=np.uint8))
+        assert pivots == []
+        assert not rref.any()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            gf2_row_reduce(np.zeros(3, dtype=np.uint8))
+
+    def test_rref_property(self):
+        """Each pivot column has exactly one 1."""
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 2, size=(6, 9), dtype=np.uint8)
+        rref, pivots = gf2_row_reduce(m)
+        for r, c in enumerate(pivots):
+            col = rref[:, c]
+            assert col[r] == 1 and col.sum() == 1
+
+
+class TestNullspace:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vectors_annihilate(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+        basis = gf2_nullspace(m)
+        assert basis.shape[0] == cols - gf2_rank(m)
+        for v in basis:
+            np.testing.assert_array_equal((m @ v) % 2, 0)
+
+    def test_basis_independent(self):
+        rng = np.random.default_rng(1)
+        m = rng.integers(0, 2, size=(4, 8), dtype=np.uint8)
+        basis = gf2_nullspace(m)
+        if len(basis):
+            assert gf2_rank(basis) == len(basis)
+
+    def test_full_rank_trivial_kernel(self):
+        assert gf2_nullspace(np.eye(4, dtype=np.uint8)).shape[0] == 0
+
+
+class TestSolve:
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_solution_or_consistent_none(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+        # RHS from a known solution: always solvable.
+        x0 = rng.integers(0, 2, size=cols, dtype=np.uint8)
+        rhs = (m @ x0) % 2
+        x = gf2_solve(m, rhs)
+        assert x is not None
+        np.testing.assert_array_equal((m @ x) % 2, rhs)
+
+    def test_inconsistent(self):
+        m = np.array([[1, 0], [1, 0]], dtype=np.uint8)
+        rhs = np.array([0, 1], dtype=np.uint8)
+        assert gf2_solve(m, rhs) is None
