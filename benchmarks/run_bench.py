@@ -1,0 +1,116 @@
+"""Perf-trajectory entry point: tiled vs gather, phase by phase.
+
+Runs ``Picasso.color`` end to end on random Pauli sets with both pair
+sweep engines (``tiled`` = block-broadcast kernels + bitset Algorithm 2,
+``pairs`` = the legacy gather kernels + Python-set Algorithm 2),
+asserts the colorings are identical, and writes ``BENCH_PR1.json`` at
+the repo root with elapsed seconds per phase for each engine.  The JSON
+seeds the performance trajectory: later PRs append ``BENCH_PR<N>.json``
+files so regressions are visible in review.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py           # incl. 10k headline
+    PYTHONPATH=src python benchmarks/run_bench.py --quick   # small sizes only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core import Picasso, PicassoParams
+from repro.pauli import random_pauli_set
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_PR1.json"
+#: --quick writes here instead, so a CI smoke run can never clobber
+#: the committed full-size trajectory file.
+QUICK_OUT_PATH = REPO_ROOT / "BENCH_PR1.quick.json"
+
+#: (name, n strings, n qubits) — the last row is the acceptance
+#: headline: 10k strings over 50 qubits.
+CASES = [
+    ("small", 2_000, 16),
+    ("medium", 5_000, 30),
+    ("headline_10k", 10_000, 50),
+]
+QUICK_CASES = CASES[:1]
+
+
+def run_engine(pauli_set, engine: str, seed: int, repeats: int = 2) -> dict:
+    """Best-of-``repeats`` end-to-end timing (identical seeded runs, so
+    the fastest repeat is the least noise-polluted measurement)."""
+    total = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        r = Picasso(params=PicassoParams(engine=engine), seed=seed).color(
+            pauli_set
+        )
+        elapsed = time.perf_counter() - t0
+        if elapsed < total:
+            total, result = elapsed, r
+    phases = result.phase_times()
+    return {
+        "total_s": round(total, 4),
+        "assign_s": round(phases["assignment"], 4),
+        "conflict_build_s": round(phases["conflict_graph"], 4),
+        "conflict_color_s": round(phases["conflict_coloring"], 4),
+        "n_colors": int(result.n_colors),
+        "n_iterations": result.n_iterations,
+        "max_conflict_edges": int(result.max_conflict_edges),
+        "colors": result.colors,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes only (CI smoke); skips the 10k headline case",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    cases = QUICK_CASES if args.quick else CASES
+    report = {"benchmark": "tiled-vs-gather end-to-end", "cases": []}
+    for name, n, nq in cases:
+        pauli_set = random_pauli_set(n, nq, seed=0)
+        tiled = run_engine(pauli_set, "tiled", args.seed)
+        gather = run_engine(pauli_set, "pairs", args.seed)
+        identical = bool(np.array_equal(tiled.pop("colors"), gather.pop("colors")))
+        speedup = gather["total_s"] / max(tiled["total_s"], 1e-9)
+        row = {
+            "name": name,
+            "n_strings": n,
+            "n_qubits": nq,
+            "tiled": tiled,
+            "gather": gather,
+            "speedup": round(speedup, 2),
+            "identical_colorings": identical,
+        }
+        report["cases"].append(row)
+        print(
+            f"{name:<14} n={n:>6} tiled={tiled['total_s']:>8.2f}s "
+            f"gather={gather['total_s']:>8.2f}s speedup={speedup:.2f}x "
+            f"identical={identical}"
+        )
+        if not identical:
+            print("ERROR: engines diverged", file=sys.stderr)
+            return 1
+
+    out_path = QUICK_OUT_PATH if args.quick else OUT_PATH
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

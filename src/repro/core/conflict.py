@@ -5,15 +5,32 @@ candidate color lists of ``u`` and ``v`` intersect.  Only those edges
 are materialized — the sparsity that gives Picasso its sublinear space
 (Lemma 2).  The device path with budget accounting lives in
 :mod:`repro.device.csr_build`; this host path shares the same kernels.
+
+Two sweep engines cover the pair space:
+
+- ``"tiled"`` (default) — the block-broadcast engine of
+  :mod:`repro.device.tiles`: each ``(row_block, col_block)`` tile loads
+  its operand slices once and evaluates the fused intersect-then-edge
+  kernel as a word broadcast.  No flat-index inversion, no quadratic
+  row gather.
+- ``"pairs"`` — the original flat pair-chunk engine (one simulated SIMT
+  thread per pair, operand rows gathered per pair).  Kept as the
+  ablation baseline; produces the identical conflict graph.
+
+Both engines stream per-sweep COO chunks into the two-pass
+count-then-fill CSR assembly (:func:`repro.graphs.csr.csr_from_coo_chunks`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.device.kernels import conflict_pair_kernel
-from repro.graphs.csr import CSRGraph, from_edge_list
-from repro.util.chunking import iter_pair_chunks
+from repro.device.tiles import (
+    DEFAULT_TILE_BYTES,
+    EdgeBlockFn,
+    sweep_conflict_chunks,
+)
+from repro.graphs.csr import CSRGraph, csr_from_coo_chunks
 
 
 def build_conflict_graph(
@@ -21,22 +38,40 @@ def build_conflict_graph(
     edge_mask_fn,
     colmasks: np.ndarray,
     chunk_size: int = 1 << 18,
+    engine: str = "tiled",
+    edge_block_fn: EdgeBlockFn | None = None,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
 ) -> tuple[CSRGraph, int]:
     """Build the conflict graph over ``n`` active vertices on the host.
 
+    Parameters
+    ----------
+    n, edge_mask_fn, colmasks:
+        Active vertex count, pairwise edge oracle, packed palette
+        bitsets.
+    chunk_size:
+        Pairs per launch for the ``"pairs"`` engine.
+    engine:
+        ``"tiled"`` (block-broadcast sweep) or ``"pairs"`` (flat
+        pair-chunk gather sweep, the ablation baseline).
+    edge_block_fn:
+        Optional block edge oracle for the tiled engine (dense tiles
+        then skip the pairwise survivor gather entirely).
+    tile_bytes:
+        Per-tile scratch budget for the tiled engine.
+
     Returns the CSR conflict graph and the conflict-edge count.
     """
-    us: list[np.ndarray] = []
-    vs: list[np.ndarray] = []
-    for i, j in iter_pair_chunks(n, chunk_size):
-        mask = conflict_pair_kernel(edge_mask_fn, colmasks, i, j).astype(bool)
-        if mask.any():
-            us.append(i[mask])
-            vs.append(j[mask])
-    u = np.concatenate(us) if us else np.empty(0, dtype=np.int64)
-    v = np.concatenate(vs) if vs else np.empty(0, dtype=np.int64)
-    graph = from_edge_list(u, v, n)
-    return graph, len(u)
+    chunks: list[tuple[np.ndarray, np.ndarray]] = []
+    m = 0
+    for i, j in sweep_conflict_chunks(
+        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn, tile_bytes
+    ):
+        if len(i):
+            chunks.append((i, j))
+            m += len(i)
+    graph = csr_from_coo_chunks(chunks, n)
+    return graph, m
 
 
 def count_conflict_edges(
@@ -44,10 +79,15 @@ def count_conflict_edges(
     edge_mask_fn,
     colmasks: np.ndarray,
     chunk_size: int = 1 << 18,
+    engine: str = "tiled",
+    edge_block_fn: EdgeBlockFn | None = None,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
 ) -> int:
     """Conflict-edge count without materializing the graph (parameter
     sweeps, Fig. 5's ``max |Ec|`` heatmap)."""
     total = 0
-    for i, j in iter_pair_chunks(n, chunk_size):
-        total += int(conflict_pair_kernel(edge_mask_fn, colmasks, i, j).sum())
+    for i, _ in sweep_conflict_chunks(
+        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn, tile_bytes
+    ):
+        total += len(i)
     return total

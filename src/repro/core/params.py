@@ -31,7 +31,21 @@ class PicassoParams:
         by this factor for subsequent iterations (implementation detail
         guaranteeing termination; 1.0 disables).
     chunk_size:
-        Pairs per kernel launch in conflict-graph construction.
+        Pairs per kernel launch in conflict-graph construction
+        (``"pairs"`` engine only).
+    engine:
+        Pair-sweep engine: ``"tiled"`` (default — the block-broadcast
+        kernel engine of :mod:`repro.device.tiles`, with the bitset
+        Algorithm 2) or ``"pairs"`` (the original flat pair-chunk
+        gather kernels plus the Python-set Algorithm 2, kept as the
+        ablation baseline).  Both engines build identical conflict
+        graphs and draw identical random numbers, so colorings match
+        for a given seed.
+    tile_budget_bytes:
+        Per-tile scratch budget for the tiled engine (sets the tile
+        edge; see :func:`repro.device.tiles.tile_edge`).  A sizing
+        hint, not a hard cap: the tile edge never drops below the
+        64-row minimum, so budgets under ~41 KB are exceeded.
     """
 
     palette_fraction: float = 0.125
@@ -41,6 +55,8 @@ class PicassoParams:
     grow_on_stall: float = 2.0
     chunk_size: int = 1 << 18
     min_palette: int = 1
+    engine: str = "tiled"
+    tile_budget_bytes: int = 1 << 24
 
     def __post_init__(self) -> None:
         if not 0.0 < self.palette_fraction <= 1.0:
@@ -53,6 +69,10 @@ class PicassoParams:
             raise ValueError("max_iterations must be >= 1")
         if self.grow_on_stall < 1.0:
             raise ValueError("grow_on_stall must be >= 1.0")
+        if self.engine not in ("tiled", "pairs"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.tile_budget_bytes < 1:
+            raise ValueError("tile_budget_bytes must be positive")
 
     def palette_size(self, n_active: int) -> int:
         """``P_l`` for the current subproblem size."""

@@ -39,6 +39,12 @@ class PauliComplementSource:
         distinct Pauli pairs)."""
         return self._oracle.commute_edges(i, j)
 
+    def edge_block(self, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+        """Block form of :meth:`edge_mask` for the tiled engine: one
+        word-broadcast over the encoded payload, no row gather.  Only
+        strict upper-triangle entries are meaningful."""
+        return self._oracle.commute_block(r0, r1, c0, c1)
+
     def subset(self, idx: np.ndarray) -> "PauliComplementSource":
         """Source induced by the uncolored vertices (new local ids)."""
         return PauliComplementSource(
@@ -121,6 +127,25 @@ class ExplicitGraphSource:
             out[order[k:end]] = found.astype(np.uint8)
             k = end
         return out
+
+    def edge_block(self, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+        """Dense adjacency block ``(r1-r0, c1-c0)`` as uint8.
+
+        Scatters the CSR rows of the block's vertices into a zeroed
+        block — O(arcs incident to the row range) per tile, fully
+        vectorized (no per-pair membership search).
+        """
+        offsets = self.graph.offsets
+        lo, hi = int(offsets[r0]), int(offsets[r1])
+        tgt = self._sorted_targets[lo:hi]
+        src = np.repeat(
+            np.arange(r0, r1, dtype=np.int64),
+            np.diff(offsets[r0 : r1 + 1]).astype(np.int64),
+        )
+        sel = (tgt >= c0) & (tgt < c1)
+        block = np.zeros((r1 - r0, c1 - c0), dtype=np.uint8)
+        block[src[sel] - r0, tgt[sel] - c0] = 1
+        return block
 
     def subset(self, idx: np.ndarray) -> "ExplicitGraphSource":
         from repro.graphs.ops import induced_subgraph

@@ -21,6 +21,19 @@ from repro.device.sim import (
     DeviceOutOfMemory,
     DeviceSim,
 )
+from repro.device.tiles import (
+    DEFAULT_TILE_BYTES,
+    anticommute_parity_block,
+    conflict_hits_block,
+    count_block_hits,
+    iter_tiles,
+    lists_intersect_block,
+    sweep_block_hits,
+    sweep_conflict_hits,
+    tile_edge,
+    tile_scratch_bytes,
+    upper_triangle_mask,
+)
 
 __all__ = [
     "BuildStats",
@@ -36,4 +49,15 @@ __all__ = [
     "Allocation",
     "DeviceOutOfMemory",
     "DeviceSim",
+    "DEFAULT_TILE_BYTES",
+    "anticommute_parity_block",
+    "conflict_hits_block",
+    "count_block_hits",
+    "iter_tiles",
+    "lists_intersect_block",
+    "sweep_block_hits",
+    "sweep_conflict_hits",
+    "tile_edge",
+    "tile_scratch_bytes",
+    "upper_triangle_mask",
 ]

@@ -22,10 +22,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.device.kernels import EdgeMaskFn, conflict_pair_kernel, exclusive_scan
+from repro.device.kernels import EdgeMaskFn, exclusive_scan
 from repro.device.sim import DeviceSim
+from repro.device.tiles import (
+    DEFAULT_TILE_BYTES,
+    EdgeBlockFn,
+    sweep_conflict_chunks,
+    tile_edge,
+    tile_scratch_bytes,
+)
 from repro.graphs.csr import CSRGraph
-from repro.util.chunking import iter_pair_chunks
 
 
 @dataclass
@@ -37,6 +43,7 @@ class BuildStats:
     built_on_device: bool
     device_peak_bytes: int
     coo_capacity_edges: int
+    engine: str = "pairs"
 
 
 def build_conflict_csr(
@@ -45,6 +52,9 @@ def build_conflict_csr(
     colmasks: np.ndarray,
     device: DeviceSim,
     chunk_size: int = 1 << 18,
+    engine: str = "tiled",
+    edge_block_fn: EdgeBlockFn | None = None,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
 ) -> tuple[CSRGraph, BuildStats]:
     """Run Algorithm 3 on a simulated device.
 
@@ -60,7 +70,19 @@ def build_conflict_csr(
         Budgeted device; raises :class:`DeviceOutOfMemory` when the COO
         buffer cannot hold the conflict edges.
     chunk_size:
-        Pairs per kernel launch.
+        Pairs per kernel launch (``"pairs"`` engine).
+    engine:
+        ``"tiled"`` block-broadcast sweep (default) or ``"pairs"`` flat
+        chunks.  The tiled engine's block scratch is a named device
+        allocation sized against the remaining budget *before* the COO
+        buffer takes the rest; if even a minimum tile cannot fit
+        alongside a useful COO buffer the build degrades to the
+        scratch-free pair engine (mirroring Algorithm 3's own
+        device/host fallback discipline).
+    edge_block_fn:
+        Optional block edge oracle for the tiled engine.
+    tile_bytes:
+        Upper bound on the tile scratch allocation.
 
     Returns
     -------
@@ -76,6 +98,25 @@ def build_conflict_csr(
     counter_bytes = 4 if n * n < 2**32 else 8
     device.alloc("edge_counters", 2 * n * counter_bytes)
 
+    # Tile scratch: reserved ahead of the COO buffer (which takes all
+    # remaining memory).  At most a quarter of what is left, so the COO
+    # stream keeps the lion's share; degrade to the pair engine when a
+    # minimum tile would not fit.
+    tile = None
+    if engine == "tiled":
+        candidate = tile_edge(
+            colmasks.shape[1], min(tile_bytes, device.available // 4), n=n
+        )
+        # The block edge oracle (dense-tile path) brings its own
+        # (R, C) temporaries on top of the TileScratch buffers — charge
+        # both so the simulated peak stays honest.
+        scratch = tile_scratch_bytes(candidate) * (2 if edge_block_fn else 1)
+        if scratch <= device.available // 2:
+            device.alloc("tile_scratch", scratch)
+            tile = candidate
+        else:
+            engine = "pairs"
+
     # COO buffer: min(worst case, all remaining memory). Each COO entry
     # is two vertex ids.
     id_bytes = 4 if n < 2**31 else 8
@@ -84,16 +125,16 @@ def build_conflict_csr(
     device.alloc("coo_edges", coo_bytes)
     capacity = coo_bytes // (2 * id_bytes)
 
+    hits = sweep_conflict_chunks(
+        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn, tile=tile
+    )
+
     id_dtype = np.int32 if id_bytes == 4 else np.int64
     coo_u = np.empty(capacity, dtype=id_dtype)
     coo_v = np.empty(capacity, dtype=id_dtype)
-    counts = np.zeros(n, dtype=np.int64)
     n_edges = 0
     try:
-        for i, j in iter_pair_chunks(n, chunk_size):
-            mask = conflict_pair_kernel(edge_mask_fn, colmasks, i, j).astype(bool)
-            ei = i[mask]
-            ej = j[mask]
+        for ei, ej in hits:
             if n_edges + len(ei) > capacity:
                 device.n_ooms += 1
                 from repro.device.sim import DeviceOutOfMemory
@@ -105,9 +146,11 @@ def build_conflict_csr(
             coo_u[n_edges : n_edges + len(ei)] = ei
             coo_v[n_edges : n_edges + len(ej)] = ej
             n_edges += len(ei)
-            np.add.at(counts, ei, 1)
-            np.add.at(counts, ej, 1)
 
+        # Degree counters in one pass over the filled COO region —
+        # O(|Ec| + n), independent of how many kernel launches fed it.
+        counts = np.bincount(coo_u[:n_edges], minlength=n)
+        counts += np.bincount(coo_v[:n_edges], minlength=n)
         offsets = exclusive_scan(counts)
 
         # CSR needs each edge twice; assemble on device only if the COO
@@ -123,6 +166,8 @@ def build_conflict_csr(
         )
     finally:
         device.free("coo_edges")
+        if tile is not None:
+            device.free("tile_scratch")
         device.free("edge_counters")
         device.free("colmasks")
 
@@ -132,6 +177,7 @@ def build_conflict_csr(
         built_on_device=on_device,
         device_peak_bytes=device.peak_bytes,
         coo_capacity_edges=int(capacity),
+        engine=engine,
     )
     return graph, stats
 

@@ -107,10 +107,87 @@ class CSRGraph:
         return f"CSRGraph(n={self.n_vertices}, m={self.n_edges})"
 
 
+def _fill_arcs(
+    cursor: np.ndarray, targets: np.ndarray, src: np.ndarray, dst: np.ndarray
+) -> None:
+    """Scatter one direction of arcs into preallocated CSR ``targets``.
+
+    ``cursor`` holds each vertex's next write position and advances by
+    that vertex's arc count — the "fill" half of the two-pass
+    count-then-fill construction.  Arcs are written in appearance
+    order: inputs already sorted by ``src`` (tile/pair sweeps emit rows
+    ascending) skip the stable counting sort entirely.
+    """
+    if len(src) == 0:
+        return
+    if np.any(src[:-1] > src[1:]):
+        order = np.argsort(src, kind="stable")
+        src = src[order]
+        dst = dst[order]
+    # Rank of each arc within its (contiguous) source-vertex run.
+    change = np.empty(len(src), dtype=bool)
+    change[0] = True
+    np.not_equal(src[1:], src[:-1], out=change[1:])
+    starts = np.flatnonzero(change)
+    run_lengths = np.diff(np.append(starts, len(src)))
+    rank = np.arange(len(src), dtype=np.int64) - np.repeat(starts, run_lengths)
+    targets[cursor[src] + rank] = dst
+    cursor[src[starts]] += run_lengths
+
+
+def csr_from_coo_chunks(
+    chunks: list[tuple[np.ndarray, np.ndarray]], n_vertices: int
+) -> CSRGraph:
+    """Two-pass count-then-fill CSR assembly from streamed COO chunks.
+
+    ``chunks`` is a list of ``(u, v)`` endpoint arrays, each unordered
+    edge appearing exactly once across all chunks (the output of a pair
+    or tile sweep).  Pass 1 accumulates per-vertex degrees; pass 2
+    scatters both arc directions into one exactly-sized ``targets``
+    buffer.  Nothing is concatenated and no global sort runs — the
+    assembly is O(arcs) after the counting pass.
+
+    Arc order per vertex matches the legacy concatenate-and-stable-sort
+    assembly (all ``u``-side arcs in chunk order, then all ``v``-side
+    arcs), so downstream order-sensitive consumers see identical CSR.
+    """
+    chunks = [
+        (np.asarray(u, dtype=np.int64), np.asarray(v, dtype=np.int64))
+        for u, v in chunks
+        if len(u)
+    ]
+    counts = np.zeros(n_vertices, dtype=np.int64)
+    m = 0
+    for u, v in chunks:
+        # Small chunks scatter directly; big ones amortize a full-width
+        # bincount.  Keeps the counting pass O(arcs + n), not
+        # O(n_chunks * n), when a tile sweep feeds thousands of chunks.
+        if 4 * len(u) < n_vertices:
+            np.add.at(counts, u, 1)
+            np.add.at(counts, v, 1)
+        else:
+            counts += np.bincount(u, minlength=n_vertices)
+            counts += np.bincount(v, minlength=n_vertices)
+        m += len(u)
+    offsets = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    targets = np.empty(2 * m, dtype=index_dtype(n_vertices))
+    cursor = offsets[:-1].copy()
+    for u, v in chunks:
+        _fill_arcs(cursor, targets, u, v)
+    for u, v in chunks:
+        _fill_arcs(cursor, targets, v, u)
+    return CSRGraph(offsets=offsets, targets=targets)
+
+
 def from_edge_list(
     u: np.ndarray, v: np.ndarray, n_vertices: int, dedupe: bool = False
 ) -> CSRGraph:
     """Build a :class:`CSRGraph` from an undirected edge list.
+
+    Two-pass count-then-fill construction: per-vertex degrees are
+    counted first, then both arc directions are scattered into a
+    preallocated ``targets`` array (no concatenation, no global sort).
 
     Parameters
     ----------
@@ -135,13 +212,4 @@ def from_edge_list(
         key = lo * np.int64(n_vertices) + hi
         _, keep = np.unique(key, return_index=True)
         u, v = lo[keep], hi[keep]
-    # Symmetrize: each edge contributes two directed arcs.
-    src = np.concatenate([u, v])
-    dst = np.concatenate([v, u])
-    dt = index_dtype(n_vertices)
-    counts = np.bincount(src, minlength=n_vertices)
-    offsets = np.zeros(n_vertices + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    order = np.argsort(src, kind="stable")
-    targets = dst[order].astype(dt)
-    return CSRGraph(offsets=offsets, targets=targets)
+    return csr_from_coo_chunks([(u, v)], n_vertices)

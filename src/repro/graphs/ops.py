@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graphs.csr import CSRGraph, from_edge_list
+from repro.graphs.csr import CSRGraph, from_edge_list, index_dtype
 from repro.util.chunking import num_pairs, pair_index_to_ij
 
 
@@ -15,21 +15,49 @@ def induced_subgraph(
 
     Returns the relabeled subgraph plus the ``old_id`` array mapping new
     vertex ids back to the originals.
+
+    Works directly on the CSR arrays: the selected rows are gathered
+    once, arcs to unselected endpoints are dropped, and the surviving
+    arcs (already grouped by source) scatter straight into the new
+    ``targets`` — no edge-list materialization, no symmetrization and
+    no sort (the arcs of a CSR row stay in their original order).
     """
     vertices = np.asarray(vertices, dtype=np.int64)
     if len(np.unique(vertices)) != len(vertices):
         raise ValueError("vertex list contains duplicates")
     n_old = graph.n_vertices
+    n_new = len(vertices)
+    if n_new == n_old and np.array_equal(
+        vertices, np.arange(n_old, dtype=np.int64)
+    ):
+        return graph, vertices
     new_id = np.full(n_old, -1, dtype=np.int64)
-    new_id[vertices] = np.arange(len(vertices))
-    e = graph.edges()
-    if len(e):
-        keep = (new_id[e[:, 0]] >= 0) & (new_id[e[:, 1]] >= 0)
-        u = new_id[e[keep, 0]]
-        v = new_id[e[keep, 1]]
-    else:
-        u = v = np.empty(0, dtype=np.int64)
-    return from_edge_list(u, v, len(vertices)), vertices
+    new_id[vertices] = np.arange(n_new)
+
+    row_starts = graph.offsets[vertices]
+    row_lengths = (graph.offsets[vertices + 1] - row_starts).astype(np.int64)
+    total = int(row_lengths.sum())
+    if total == 0:
+        offsets = np.zeros(n_new + 1, dtype=np.int64)
+        return CSRGraph(
+            offsets=offsets, targets=np.empty(0, dtype=index_dtype(n_new))
+        ), vertices
+    # Flat indices of every arc leaving a selected vertex.
+    shift = np.zeros(n_new, dtype=np.int64)
+    np.cumsum(row_lengths[:-1], out=shift[1:])
+    arc_idx = np.repeat(row_starts - shift, row_lengths) + np.arange(total)
+    mapped = new_id[graph.targets[arc_idx]]
+    keep = mapped >= 0
+    src = np.repeat(np.arange(n_new, dtype=np.int64), row_lengths)[keep]
+    dst = mapped[keep]
+
+    counts = np.bincount(src, minlength=n_new)
+    offsets = np.zeros(n_new + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    # src is sorted (rows were gathered in order), so the surviving
+    # arcs are already laid out in CSR order.
+    targets = dst.astype(index_dtype(n_new))
+    return CSRGraph(offsets=offsets, targets=targets), vertices
 
 
 def complement(graph: CSRGraph) -> CSRGraph:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.pauli.encoding import I, encode_iooh, encode_symplectic
-from repro.util.bits import parity_rows
+from repro.util.bits import parity_block, parity_rows
 
 
 def anticommute_pairs_chars(
@@ -59,6 +59,42 @@ def anticommute_pairs_symplectic(
     p1 = parity_rows(x[i] & z[j])
     p2 = parity_rows(z[i] & x[j])
     return (p1 ^ p2).astype(np.uint8)
+
+
+def anticommute_block_chars(
+    chars: np.ndarray, r0: int, r1: int, c0: int, c1: int
+) -> np.ndarray:
+    """Character-comparison kernel over a ``(rows, cols)`` block.
+
+    Loops over qubit columns so scratch stays at one block-sized
+    temporary; the mismatch count accumulates mod 256, which preserves
+    the parity that decides anticommutation.
+    """
+    a = chars[r0:r1]
+    b = chars[c0:c1]
+    out = np.zeros((r1 - r0, c1 - c0), dtype=np.uint8)
+    for q in range(chars.shape[1]):
+        ca = a[:, q, None]
+        cb = b[None, :, q]
+        out += (ca != cb) & (ca != I) & (cb != I)
+    out &= np.uint8(1)
+    return out
+
+
+def anticommute_block_iooh(
+    packed: np.ndarray, r0: int, r1: int, c0: int, c1: int
+) -> np.ndarray:
+    """Inverse one-hot kernel over a block: the tiled form of
+    :func:`anticommute_pairs_iooh` — word broadcast, no row gather."""
+    return parity_block(packed[r0:r1], packed[c0:c1])
+
+
+def anticommute_block_symplectic(
+    x: np.ndarray, z: np.ndarray, r0: int, r1: int, c0: int, c1: int
+) -> np.ndarray:
+    """Symplectic kernel over a block:
+    ``parity(x_i & z_j) XOR parity(z_i & x_j)`` broadcast-tiled."""
+    return parity_block(x[r0:r1], z[c0:c1]) ^ parity_block(z[r0:r1], x[c0:c1])
 
 
 def anticommute_matrix(chars: np.ndarray) -> np.ndarray:
@@ -104,6 +140,8 @@ class AnticommuteOracle:
         self.n = self.chars.shape[0]
         self.n_qubits = self.chars.shape[1] if self.chars.ndim == 2 else 0
         self.kernel = kernel
+        self._blk_tmp: np.ndarray | None = None
+        self._blk_out: np.ndarray | None = None
         if kernel == "iooh":
             self._packed = encode_iooh(self.chars)
         elif kernel == "symplectic":
@@ -112,6 +150,20 @@ class AnticommuteOracle:
             pass
         else:
             raise ValueError(f"unknown kernel {kernel!r}")
+
+    def _block_scratch(self, rows: int, cols: int):
+        """Persistent per-oracle block buffers (grown on demand) so a
+        tile sweep's edge-block queries stay off the allocator."""
+        if (
+            self._blk_tmp is None
+            or self._blk_tmp.shape[0] < rows
+            or self._blk_tmp.shape[1] < cols
+        ):
+            r = max(rows, 0 if self._blk_tmp is None else self._blk_tmp.shape[0])
+            c = max(cols, 0 if self._blk_tmp is None else self._blk_tmp.shape[1])
+            self._blk_tmp = np.empty((r, c), dtype=np.uint64)
+            self._blk_out = np.empty((r, c), dtype=np.uint8)
+        return self._blk_tmp[:rows, :cols], self._blk_out[:rows, :cols]
 
     def anticommute(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
         """uint8 mask, 1 where ``P_i`` and ``P_j`` anticommute."""
@@ -127,6 +179,27 @@ class AnticommuteOracle:
         """uint8 mask, 1 where ``(i, j)`` is an edge of the *complement*
         graph ``G'`` (distinct strings that do **not** anticommute)."""
         return (1 - self.anticommute(i, j)).astype(np.uint8)
+
+    def anticommute_block(self, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+        """Block form of :meth:`anticommute`: uint8 ``(r1-r0, c1-c0)``
+        matrix for the row-range x col-range pair block, computed as a
+        word broadcast without gathering any rows (tiled engine).
+
+        The returned array may view a reused internal buffer — consume
+        it before the next ``*_block`` call on this oracle.
+        """
+        if self.kernel == "iooh":
+            tmp, out = self._block_scratch(r1 - r0, c1 - c0)
+            return parity_block(self._packed[r0:r1], self._packed[c0:c1], tmp, out)
+        if self.kernel == "symplectic":
+            return anticommute_block_symplectic(self._x, self._z, r0, r1, c0, c1)
+        return anticommute_block_chars(self.chars, r0, r1, c0, c1)
+
+    def commute_block(self, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+        """Block form of :meth:`commute_edges`.  Diagonal entries
+        (``i == j``) are meaningless here; tiled consumers mask the
+        strict upper triangle before use."""
+        return (1 - self.anticommute_block(r0, r1, c0, c1)).astype(np.uint8)
 
     @property
     def nbytes(self) -> int:

@@ -54,6 +54,116 @@ def popcount(words: np.ndarray) -> np.ndarray:
     return _popcount_swar(words)
 
 
+def popcount_u8(words: np.ndarray) -> np.ndarray:
+    """Per-element population count as ``uint8`` (no ``int64`` widening).
+
+    The tiled pair kernels accumulate per-word popcounts over whole
+    ``(rows, cols)`` tiles; keeping the result at one byte per pair
+    instead of eight is most of their memory-bandwidth win, so this
+    variant avoids the :func:`popcount` cast to ``int64``.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    x = words.copy()
+    x -= (x >> np.uint64(1)) & _M1
+    x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+    x = (x + (x >> np.uint64(4))) & _M4
+    return ((x * _H01) >> np.uint64(56)).astype(np.uint8)
+
+
+def parity_block(
+    a: np.ndarray,
+    b: np.ndarray,
+    tmp: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Popcount-parity of ``a[i] & b[j]`` for every row pair, as uint8.
+
+    Parameters
+    ----------
+    a, b:
+        Packed word matrices of shapes ``(R, W)`` and ``(C, W)``.
+    tmp, out:
+        Optional preallocated ``(R, C)`` scratch (uint64 word-AND
+        buffer, uint8 result) — a tile sweep reuses them across tiles
+        so the hot loop never touches the allocator.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(R, C)`` uint8 matrix with ``parity(popcount(a[i] & b[j]))``.
+
+    This is the broadcast ("block") form of :func:`parity_rows` used by
+    the tiled kernel engine: one word column at a time so the scratch
+    stays at one ``(R, C)`` temporary instead of ``(R, C, W)``.  The
+    per-word popcounts are accumulated with wrapping uint8 addition —
+    addition mod 256 preserves parity — and folded to a bit at the end.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    shape = (a.shape[0], b.shape[0])
+    if tmp is None:
+        tmp = np.empty(shape, dtype=np.uint64)
+    if out is None:
+        out = np.zeros(shape, dtype=np.uint8)
+    else:
+        out[...] = 0
+    for w in range(a.shape[1]):
+        np.bitwise_and(a[:, w, None], b[None, :, w], out=tmp)
+        if _HAS_BITWISE_COUNT:
+            out += np.bitwise_count(tmp)
+        else:
+            out += popcount_u8(tmp)
+    out &= np.uint8(1)
+    return out
+
+
+def anybit_block(
+    a: np.ndarray,
+    b: np.ndarray,
+    tmp: np.ndarray | None = None,
+    tmp_bool: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Boolean ``(R, C)`` matrix: True where ``a[i] & b[j]`` is nonzero.
+
+    Block-broadcast form of the palette-intersection test
+    (``popcount(mask_u & mask_v) > 0`` collapses to "any word AND is
+    nonzero", so no popcount is needed at all).  ``tmp``/``tmp_bool``/
+    ``out`` are optional ``(R, C)`` scratch buffers, reused across
+    tiles by the sweep drivers.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    shape = (a.shape[0], b.shape[0])
+    if tmp is None:
+        tmp = np.empty(shape, dtype=np.uint64)
+    if tmp_bool is None:
+        tmp_bool = np.empty(shape, dtype=bool)
+    if out is None:
+        out = np.zeros(shape, dtype=bool)
+    else:
+        out[...] = False
+    for w in range(a.shape[1]):
+        np.bitwise_and(a[:, w, None], b[None, :, w], out=tmp)
+        np.not_equal(tmp, 0, out=tmp_bool)
+        out |= tmp_bool
+    return out
+
+
+def bitset_indices(row: np.ndarray) -> np.ndarray:
+    """Sorted bit indices set in a single packed bitset row.
+
+    ``row`` is a ``(W,)`` uint64 vector; the result is the ascending
+    ``int64`` array of set-bit positions (the canonical candidate order
+    of the bitset list coloring).
+    """
+    row = np.ascontiguousarray(row, dtype=np.uint64)
+    bits = np.unpackbits(row.view(np.uint8), bitorder="little")
+    return np.flatnonzero(bits).astype(np.int64)
+
+
 def popcount_rows(words: np.ndarray) -> np.ndarray:
     """Total population count along the last axis.
 

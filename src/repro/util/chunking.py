@@ -20,6 +20,28 @@ def num_pairs(n: int) -> int:
     return n * (n - 1) // 2
 
 
+#: Cache of row-offset tables keyed by ``n`` (tiny LRU: the driver and
+#: the multiprocessing workers each hammer one or two values of ``n``).
+_ROW_OFFSET_CACHE: dict[int, np.ndarray] = {}
+_ROW_OFFSET_CACHE_MAX = 4
+
+
+def _row_offsets(n: int) -> np.ndarray:
+    """``offset(i) = i*n - i*(i+1)/2`` for ``i`` in ``[0, n)``, cached.
+
+    Strictly increasing for ``i <= n-1``, so it is directly
+    searchsorted-able when the analytic inverse lands a row off.
+    """
+    cached = _ROW_OFFSET_CACHE.get(n)
+    if cached is None:
+        i = np.arange(n, dtype=np.int64)
+        cached = i * n - (i * (i + 1)) // 2
+        if len(_ROW_OFFSET_CACHE) >= _ROW_OFFSET_CACHE_MAX:
+            _ROW_OFFSET_CACHE.pop(next(iter(_ROW_OFFSET_CACHE)))
+        _ROW_OFFSET_CACHE[n] = cached
+    return cached
+
+
 def pair_index_to_ij(k: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
     """Map flat unordered-pair indices to ``(i, j)`` with ``i < j``.
 
@@ -45,23 +67,18 @@ def pair_index_to_ij(k: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
     if k.size and (k.min() < 0 or k.max() >= num_pairs(n)):
         raise ValueError("pair index out of range")
     nf = float(n)
-    # i = floor(n - 1/2 - sqrt((n - 1/2)^2 - 2k))
+    # Analytic fast path: i = floor(n - 1/2 - sqrt((n - 1/2)^2 - 2k)).
     disc = (nf - 0.5) ** 2 - 2.0 * k.astype(np.float64)
     i = np.floor(nf - 0.5 - np.sqrt(np.maximum(disc, 0.0))).astype(np.int64)
-    # Floating point can land one row off near boundaries; correct both ways.
+    np.clip(i, 0, max(n - 2, 0), out=i)
+    # Floating point can land a row off near boundaries.  Instead of the
+    # old repeated +-1 fixup loops, resolve every misfit in one shot by
+    # binary-searching the cached row-offset table.
     off = i * n - (i * (i + 1)) // 2
-    too_big = off > k
-    while too_big.any():
-        i[too_big] -= 1
+    bad = (off > k) | (k >= off + (n - 1 - i))
+    if bad.any():
+        i[bad] = np.searchsorted(_row_offsets(n), k[bad], side="right") - 1
         off = i * n - (i * (i + 1)) // 2
-        too_big = off > k
-    nxt = (i + 1) * n - ((i + 1) * (i + 2)) // 2
-    too_small = k >= nxt
-    while too_small.any():
-        i[too_small] += 1
-        off = i * n - (i * (i + 1)) // 2
-        nxt = (i + 1) * n - ((i + 1) * (i + 2)) // 2
-        too_small = k >= nxt
     j = k - off + i + 1
     return i, j
 

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.list_coloring import (
     greedy_list_color_dynamic,
+    greedy_list_color_dynamic_sets,
     greedy_list_color_static,
 )
 from repro.graphs import complete_graph, cycle_graph, empty_graph, erdos_renyi
@@ -88,6 +89,73 @@ class TestDynamic:
         ).astype(np.int64)
         colors, vu = greedy_list_color_dynamic(gc, lists, rng=seed)
         assert_valid_list_coloring(gc, lists, colors, vu)
+
+
+class TestBitsetMatchesSetsReference:
+    """The bitset Algorithm 2 must reproduce the Python-set reference
+    exactly (same colors AND same Vu) for any fixed seed — they draw
+    the same random numbers and make identical canonical choices."""
+
+    @staticmethod
+    def assert_equivalent(gc, lists, seed):
+        c_bits, vu_bits = greedy_list_color_dynamic(gc, lists, rng=seed)
+        c_sets, vu_sets = greedy_list_color_dynamic_sets(gc, lists, rng=seed)
+        np.testing.assert_array_equal(c_bits, c_sets)
+        np.testing.assert_array_equal(vu_bits, vu_sets)
+        assert_valid_list_coloring(gc, lists, c_bits, vu_bits)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 40))
+        gc = erdos_renyi(n, float(rng.random()), seed=seed)
+        L = int(rng.integers(1, 6))
+        P = int(rng.integers(L, L + 10))
+        lists = np.stack(
+            [rng.choice(P, size=L, replace=False) for _ in range(n)]
+        ).astype(np.int64)
+        self.assert_equivalent(gc, lists, seed)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=15, deadline=None)
+    def test_multiword_palette(self, seed):
+        """Palettes above 64 colors exercise multi-word bitsets."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 35))
+        gc = erdos_renyi(n, 0.5, seed=seed)
+        L = int(rng.integers(2, 9))
+        P = int(rng.integers(70, 200))
+        lists = np.stack(
+            [rng.choice(P, size=L, replace=False) for _ in range(n)]
+        ).astype(np.int64)
+        assert int(lists.max()) >= 64  # multi-word with high probability
+        self.assert_equivalent(gc, lists, seed)
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_degenerate_sizes(self, n):
+        gc = empty_graph(n)
+        lists = np.tile(np.arange(3, dtype=np.int64), (n, 1))
+        self.assert_equivalent(gc, lists, seed=0)
+        if n == 2:
+            gc = complete_graph(2)
+            lists = np.zeros((2, 1), dtype=np.int64)  # forced conflict
+            self.assert_equivalent(gc, lists, seed=1)
+
+    def test_duplicate_candidates_collapse(self):
+        gc = cycle_graph(4)
+        lists = np.array([[5, 5], [5, 7], [7, 5], [5, 7]], dtype=np.int64)
+        self.assert_equivalent(gc, lists, seed=3)
+
+    def test_padding_rows_join_vu(self):
+        """All-padding rows (negative ids) have no candidates: the
+        bitset variant sends them straight to Vu."""
+        gc = empty_graph(3)
+        lists = np.array([[0, 1], [-1, -1], [2, 0]], dtype=np.int64)
+        colors, vu = greedy_list_color_dynamic(gc, lists, rng=0)
+        assert colors[1] == -1
+        np.testing.assert_array_equal(vu, [1])
+        assert (colors[[0, 2]] >= 0).all()
 
 
 class TestStatic:

@@ -54,6 +54,40 @@ class TestPauliWorkload:
         assert (a.colors != b.colors).any()
 
 
+class TestEngines:
+    def test_tiled_and_pairs_identical_colorings(self):
+        """Both engines build identical conflict graphs and draw the
+        same random numbers, so whole runs must match bit for bit."""
+        for seed in range(3):
+            ps = random_pauli_set(140, 6, seed=seed)
+            rt = picasso_color(ps, PicassoParams(engine="tiled"), seed=seed)
+            rp = picasso_color(ps, PicassoParams(engine="pairs"), seed=seed)
+            np.testing.assert_array_equal(rt.colors, rp.colors)
+            assert rt.n_iterations == rp.n_iterations
+
+    def test_tiled_engine_on_explicit_graph(self):
+        g = erdos_renyi(90, 0.4, seed=21)
+        rt = picasso_color(g, PicassoParams(engine="tiled"), seed=2)
+        rp = picasso_color(g, PicassoParams(engine="pairs"), seed=2)
+        np.testing.assert_array_equal(rt.colors, rp.colors)
+        assert g.validate_coloring(rt.colors)
+
+    def test_tile_budget_knob(self):
+        ps = random_pauli_set(80, 5, seed=1)
+        r = picasso_color(
+            ps,
+            PicassoParams(engine="tiled", tile_budget_bytes=1 << 13),
+            seed=4,
+        )
+        assert PauliComplementSource(ps).validate(r.colors)
+
+    def test_engine_validated(self):
+        with pytest.raises(ValueError):
+            PicassoParams(engine="bogus")
+        with pytest.raises(ValueError):
+            PicassoParams(tile_budget_bytes=0)
+
+
 class TestExplicitGraphWorkload:
     def test_random_graph(self):
         g = erdos_renyi(100, 0.5, seed=5)
