@@ -56,6 +56,10 @@ def _make_params(args: argparse.Namespace):
         overrides["palette_fraction"] = args.palette_percent / 100.0
     if args.alpha is not None:
         overrides["alpha"] = args.alpha
+    if getattr(args, "workers", None) is not None:
+        overrides["n_workers"] = args.workers
+    if getattr(args, "executor", None) is not None:
+        overrides["executor"] = args.executor
     return base.with_(**overrides)
 
 
@@ -193,6 +197,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--palette-percent", type=float, default=None)
     p.add_argument("--alpha", type=float, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for conflict-graph construction "
+        "(default 1 = serial; parallel builds are bit-identical)",
+    )
+    p.add_argument(
+        "--executor", default=None, choices=["auto", "serial", "pool"],
+        help="execution backend (default auto: serial for 1 worker, "
+        "process pool otherwise)",
+    )
     p.add_argument("--validate", action="store_true")
     p.add_argument("--output", "-o", default=None, help="write per-vertex colors")
     p.set_defaults(func=_cmd_color)

@@ -17,20 +17,23 @@ Two sweep engines cover the pair space:
   thread per pair, operand rows gathered per pair).  Kept as the
   ablation baseline; produces the identical conflict graph.
 
-Both engines stream per-sweep COO chunks into the two-pass
-count-then-fill CSR assembly (:func:`repro.graphs.csr.csr_from_coo_chunks`).
+Both engines run through an execution backend
+(:mod:`repro.parallel.executor`): serial in-process streaming, or a
+process pool that sweeps balanced contiguous strips of the domain and
+gathers results in deterministic strip order.  All paths feed the same
+two-pass count-then-fill CSR assembly
+(:func:`repro.graphs.csr.csr_from_coo_chunks`), so serial and parallel
+builds are bit-identical per seed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.device.tiles import (
-    DEFAULT_TILE_BYTES,
-    EdgeBlockFn,
-    sweep_conflict_chunks,
-)
+from repro.device.tiles import DEFAULT_TILE_BYTES, EdgeBlockFn
 from repro.graphs.csr import CSRGraph, csr_from_coo_chunks
+from repro.parallel.executor import Executor, make_executor
+from repro.parallel.pool import conflict_sweep_chunks
 
 
 def build_conflict_graph(
@@ -41,6 +44,8 @@ def build_conflict_graph(
     engine: str = "tiled",
     edge_block_fn: EdgeBlockFn | None = None,
     tile_bytes: int = DEFAULT_TILE_BYTES,
+    n_workers: int = 1,
+    executor: str | Executor = "auto",
 ) -> tuple[CSRGraph, int]:
     """Build the conflict graph over ``n`` active vertices on the host.
 
@@ -59,13 +64,23 @@ def build_conflict_graph(
         then skip the pairwise survivor gather entirely).
     tile_bytes:
         Per-tile scratch budget for the tiled engine.
+    n_workers:
+        Worker processes for the sweep (1 = serial streaming).
+    executor:
+        Backend spec (``"auto"``/``"serial"``/``"pool"``) or an
+        :class:`~repro.parallel.executor.Executor` instance.  With a
+        pool backend the edge oracle and colmasks ship once per worker
+        and the strip results are gathered in deterministic order, so
+        the built CSR is bit-identical to the serial one.
 
     Returns the CSR conflict graph and the conflict-edge count.
     """
+    ex = make_executor(executor, n_workers)
     chunks: list[tuple[np.ndarray, np.ndarray]] = []
     m = 0
-    for i, j in sweep_conflict_chunks(
-        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn, tile_bytes
+    for i, j in conflict_sweep_chunks(
+        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+        tile_bytes=tile_bytes, executor=ex,
     ):
         if len(i):
             chunks.append((i, j))
@@ -82,12 +97,16 @@ def count_conflict_edges(
     engine: str = "tiled",
     edge_block_fn: EdgeBlockFn | None = None,
     tile_bytes: int = DEFAULT_TILE_BYTES,
+    n_workers: int = 1,
+    executor: str | Executor = "auto",
 ) -> int:
     """Conflict-edge count without materializing the graph (parameter
     sweeps, Fig. 5's ``max |Ec|`` heatmap)."""
+    ex = make_executor(executor, n_workers)
     total = 0
-    for i, _ in sweep_conflict_chunks(
-        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn, tile_bytes
+    for i, _ in conflict_sweep_chunks(
+        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+        tile_bytes=tile_bytes, executor=ex,
     ):
         total += len(i)
     return total

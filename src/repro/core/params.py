@@ -46,6 +46,17 @@ class PicassoParams:
         edge; see :func:`repro.device.tiles.tile_edge`).  A sizing
         hint, not a hard cap: the tile edge never drops below the
         64-row minimum, so budgets under ~41 KB are exceeded.
+    n_workers:
+        Worker processes for conflict-graph construction.  1 (default)
+        streams the sweep in-process; >= 2 partitions the sweep domain
+        into balanced contiguous strips dispatched over a process pool.
+        Serial and parallel builds are bit-identical per seed, so this
+        is purely a throughput knob.
+    executor:
+        Execution backend: ``"auto"`` (serial for one worker, pool
+        otherwise), ``"serial"`` (force in-process), or ``"pool"``
+        (force a process pool even for one worker).  See
+        :mod:`repro.parallel.executor`.
     """
 
     palette_fraction: float = 0.125
@@ -57,6 +68,8 @@ class PicassoParams:
     min_palette: int = 1
     engine: str = "tiled"
     tile_budget_bytes: int = 1 << 24
+    n_workers: int = 1
+    executor: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.palette_fraction <= 1.0:
@@ -73,6 +86,10 @@ class PicassoParams:
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.tile_budget_bytes < 1:
             raise ValueError("tile_budget_bytes must be positive")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.executor not in ("auto", "serial", "pool"):
+            raise ValueError(f"unknown executor {self.executor!r}")
 
     def palette_size(self, n_active: int) -> int:
         """``P_l`` for the current subproblem size."""

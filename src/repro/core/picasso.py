@@ -32,6 +32,7 @@ from repro.device.csr_build import build_conflict_csr
 from repro.device.sim import DeviceSim
 from repro.graphs.csr import CSRGraph
 from repro.graphs.ops import induced_subgraph
+from repro.parallel.executor import make_executor
 from repro.pauli.strings import PauliSet
 from repro.util.rng import as_generator
 
@@ -134,6 +135,9 @@ class Picasso:
         """Algorithm 1 over any edge source."""
         t_start = time.perf_counter()
         params = self.params
+        # One backend instance for the whole run; each iteration's sweep
+        # ships that iteration's payload once per worker.
+        executor = make_executor(params.executor, params.n_workers)
         n_total = source.n
         colors = np.full(n_total, -1, dtype=np.int64)
         active = np.arange(n_total, dtype=np.int64)
@@ -176,6 +180,7 @@ class Picasso:
                     engine=params.engine,
                     edge_block_fn=edge_block_fn,
                     tile_bytes=params.tile_budget_bytes,
+                    executor=executor,
                 )
                 n_conf_edges = build_stats.n_conflict_edges
                 built_on_device = build_stats.built_on_device
@@ -188,6 +193,7 @@ class Picasso:
                     engine=params.engine,
                     edge_block_fn=edge_block_fn,
                     tile_bytes=params.tile_budget_bytes,
+                    executor=executor,
                 )
             t_build = time.perf_counter() - t0
 

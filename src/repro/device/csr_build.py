@@ -27,11 +27,12 @@ from repro.device.sim import DeviceSim
 from repro.device.tiles import (
     DEFAULT_TILE_BYTES,
     EdgeBlockFn,
-    sweep_conflict_chunks,
     tile_edge,
     tile_scratch_bytes,
 )
 from repro.graphs.csr import CSRGraph
+from repro.parallel.executor import Executor, make_executor
+from repro.parallel.pool import conflict_sweep_chunks
 
 
 @dataclass
@@ -44,6 +45,7 @@ class BuildStats:
     device_peak_bytes: int
     coo_capacity_edges: int
     engine: str = "pairs"
+    n_workers: int = 1
 
 
 def build_conflict_csr(
@@ -55,6 +57,8 @@ def build_conflict_csr(
     engine: str = "tiled",
     edge_block_fn: EdgeBlockFn | None = None,
     tile_bytes: int = DEFAULT_TILE_BYTES,
+    n_workers: int = 1,
+    executor: str | Executor = "auto",
 ) -> tuple[CSRGraph, BuildStats]:
     """Run Algorithm 3 on a simulated device.
 
@@ -82,13 +86,23 @@ def build_conflict_csr(
     edge_block_fn:
         Optional block edge oracle for the tiled engine.
     tile_bytes:
-        Upper bound on the tile scratch allocation.
+        Upper bound on the tile scratch allocation *per worker*.
+    n_workers:
+        Worker processes for the sweep; every worker owns a private
+        tile scratch, so the device is charged ``n_workers`` times the
+        per-tile scratch (a multi-SM kernel reserves shared memory per
+        resident block the same way).
+    executor:
+        Backend spec or instance (see :mod:`repro.parallel.executor`).
 
     Returns
     -------
     (graph, stats):
         The conflict graph in CSR form plus build provenance.
     """
+    ex = make_executor(executor, n_workers)
+    workers = max(1, ex.n_workers)
+
     # Input residency: encoded strings + color lists live on device for
     # the kernel (approximated by the colmask bytes; the Pauli payload
     # is charged by the caller, which owns its lifetime).
@@ -99,18 +113,23 @@ def build_conflict_csr(
     device.alloc("edge_counters", 2 * n * counter_bytes)
 
     # Tile scratch: reserved ahead of the COO buffer (which takes all
-    # remaining memory).  At most a quarter of what is left, so the COO
+    # remaining memory).  At most a quarter of what is left — split
+    # across workers, each of which owns a private scratch — so the COO
     # stream keeps the lion's share; degrade to the pair engine when a
-    # minimum tile would not fit.
+    # minimum tile per worker would not fit.
     tile = None
     if engine == "tiled":
         candidate = tile_edge(
-            colmasks.shape[1], min(tile_bytes, device.available // 4), n=n
+            colmasks.shape[1],
+            min(tile_bytes, device.available // 4 // workers),
+            n=n,
         )
         # The block edge oracle (dense-tile path) brings its own
         # (R, C) temporaries on top of the TileScratch buffers — charge
-        # both so the simulated peak stays honest.
-        scratch = tile_scratch_bytes(candidate) * (2 if edge_block_fn else 1)
+        # both, for every worker, so the simulated peak stays honest.
+        scratch = (
+            tile_scratch_bytes(candidate) * (2 if edge_block_fn else 1) * workers
+        )
         if scratch <= device.available // 2:
             device.alloc("tile_scratch", scratch)
             tile = candidate
@@ -125,8 +144,9 @@ def build_conflict_csr(
     device.alloc("coo_edges", coo_bytes)
     capacity = coo_bytes // (2 * id_bytes)
 
-    hits = sweep_conflict_chunks(
-        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn, tile=tile
+    hits = conflict_sweep_chunks(
+        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+        tile=tile, executor=ex,
     )
 
     id_dtype = np.int32 if id_bytes == 4 else np.int64
@@ -165,6 +185,11 @@ def build_conflict_csr(
             offsets, coo_u[:n_edges], coo_v[:n_edges], id_dtype
         )
     finally:
+        # Close the sweep generator explicitly: on an abort mid-stream
+        # (COO overflow) this unwinds the executor's pool context and
+        # terminates the workers now, instead of leaving them churning
+        # through discarded strips until garbage collection.
+        hits.close()
         device.free("coo_edges")
         if tile is not None:
             device.free("tile_scratch")
@@ -178,6 +203,7 @@ def build_conflict_csr(
         device_peak_bytes=device.peak_bytes,
         coo_capacity_edges=int(capacity),
         engine=engine,
+        n_workers=workers,
     )
     return graph, stats
 

@@ -69,6 +69,8 @@ __all__ = [
     "anticommute_parity_block",
     "lists_intersect_block",
     "conflict_hits_block",
+    "conflict_hits_strip",
+    "block_hits_strip",
     "sweep_conflict_hits",
     "sweep_conflict_chunks",
     "sweep_block_hits",
@@ -257,6 +259,73 @@ def conflict_hits_block(
     return gi[keep], gj[keep]
 
 
+def conflict_hits_strip(
+    colmasks: np.ndarray,
+    tiles,
+    edge_mask_fn=None,
+    edge_block_fn: EdgeBlockFn | None = None,
+    dense_edge_fraction: float = DENSE_EDGE_FRACTION,
+    scratch: TileScratch | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the fused conflict kernel over a strip of tiles.
+
+    ``tiles`` is an iterable of ``(r0, r1, c0, c1)`` blocks in canonical
+    row-major order; the per-tile hits are concatenated in that order,
+    so a partitioned sweep that gathers strip results in strip order
+    reproduces the serial sweep's global hit stream exactly.  This is
+    the unit of work an execution backend ships to a worker process —
+    one task, one ``(i, j)`` result pair.
+    """
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    for r0, r1, c0, c1 in tiles:
+        i, j = conflict_hits_block(
+            colmasks, r0, r1, c0, c1, edge_mask_fn, edge_block_fn,
+            dense_edge_fraction=dense_edge_fraction, scratch=scratch,
+        )
+        if len(i):
+            us.append(i)
+            vs.append(j)
+    if not us:
+        return _EMPTY, _EMPTY
+    return np.concatenate(us), np.concatenate(vs)
+
+
+def _block_hits(
+    block_fn: EdgeBlockFn, r0: int, r1: int, c0: int, c1: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Upper-triangle hits of ``block_fn`` on one tile, as global
+    ``(i, j)`` index arrays — the shared per-tile body of
+    :func:`sweep_block_hits` and :func:`block_hits_strip` (one place to
+    keep the diagonal masking, so serial and parallel explicit-builder
+    sweeps cannot diverge)."""
+    blk = np.asarray(block_fn(r0, r1, c0, c1)).astype(bool, copy=False)
+    if r0 == c0:
+        blk &= upper_triangle_mask(r0, r1, c0, c1)
+    li, lj = np.nonzero(blk)
+    if len(li) == 0:
+        return _EMPTY, _EMPTY
+    return li + r0, lj + c0
+
+
+def block_hits_strip(
+    block_fn: EdgeBlockFn, tiles
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-worker task of the generic tiled pair sweep: concatenate the
+    upper-triangle hits of ``block_fn`` over a strip of tiles (the
+    parallel unit behind :func:`sweep_block_hits`)."""
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    for r0, r1, c0, c1 in tiles:
+        i, j = _block_hits(block_fn, r0, r1, c0, c1)
+        if len(i):
+            us.append(i)
+            vs.append(j)
+    if not us:
+        return _EMPTY, _EMPTY
+    return np.concatenate(us), np.concatenate(vs)
+
+
 def sweep_conflict_hits(
     n: int,
     colmasks: np.ndarray,
@@ -320,14 +389,7 @@ def sweep_block_hits(
     commute) applies to every pair rather than being conflict-filtered.
     """
     for r0, r1, c0, c1 in iter_tiles(n, tile):
-        blk = np.asarray(block_fn(r0, r1, c0, c1)).astype(bool, copy=False)
-        if r0 == c0:
-            blk &= upper_triangle_mask(r0, r1, c0, c1)
-        li, lj = np.nonzero(blk)
-        if len(li) == 0:
-            yield _EMPTY, _EMPTY
-        else:
-            yield li + r0, lj + c0
+        yield _block_hits(block_fn, r0, r1, c0, c1)
 
 
 def count_block_hits(n: int, block_fn: EdgeBlockFn, tile: int) -> int:

@@ -10,12 +10,14 @@ The pair sweep runs on the tiled block-broadcast engine
 (:mod:`repro.device.tiles`): each tile evaluates the oracle's block
 kernel once over contiguous row slices instead of gathering both
 operand rows per pair, and the hits stream into the two-pass
-count-then-fill CSR assembly.
+count-then-fill CSR assembly.  With ``n_workers >= 2`` the sweep is
+dispatched over the execution backend layer
+(:mod:`repro.parallel.executor`) as balanced contiguous tile strips;
+strip results are gathered in canonical tile order, so parallel and
+serial builds produce bit-identical CSR.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.device.tiles import (
     DEFAULT_TILE_BYTES,
@@ -29,29 +31,39 @@ from repro.util.chunking import num_pairs
 
 
 def anticommute_graph(
-    pauli_set: PauliSet, chunk_size: int = 1 << 20, kernel: str = "iooh"
+    pauli_set: PauliSet,
+    chunk_size: int = 1 << 20,
+    kernel: str = "iooh",
+    n_workers: int = 1,
 ) -> CSRGraph:
     """Explicit graph ``G``: edges connect anticommuting string pairs."""
-    return _oracle_graph(pauli_set, want_anticommute=True, chunk_size=chunk_size, kernel=kernel)
+    return _oracle_graph(
+        pauli_set, want_anticommute=True, chunk_size=chunk_size,
+        kernel=kernel, n_workers=n_workers,
+    )
 
 
 def complement_graph(
-    pauli_set: PauliSet, chunk_size: int = 1 << 20, kernel: str = "iooh"
+    pauli_set: PauliSet,
+    chunk_size: int = 1 << 20,
+    kernel: str = "iooh",
+    n_workers: int = 1,
 ) -> CSRGraph:
     """Explicit complement graph ``G'``: edges connect *commuting*
     distinct pairs — the graph the coloring baselines run on (§II-B)."""
-    return _oracle_graph(pauli_set, want_anticommute=False, chunk_size=chunk_size, kernel=kernel)
+    return _oracle_graph(
+        pauli_set, want_anticommute=False, chunk_size=chunk_size,
+        kernel=kernel, n_workers=n_workers,
+    )
 
 
 def _block_fn(oracle, want_anticommute: bool):
-    """Tiled predicate over the oracle: anticommute or its complement."""
-    if want_anticommute:
-        return oracle.anticommute_block
+    """Tiled predicate over the oracle: anticommute or its complement.
 
-    def commute(r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
-        return 1 - oracle.anticommute_block(r0, r1, c0, c1)
-
-    return commute
+    Bound oracle methods, not closures, so the predicate pickles into
+    spawn-context pool workers.
+    """
+    return oracle.anticommute_block if want_anticommute else oracle.commute_block
 
 
 def _oracle_tile(pauli_set: PauliSet, chunk_size: int) -> int:
@@ -61,17 +73,28 @@ def _oracle_tile(pauli_set: PauliSet, chunk_size: int) -> int:
 
 
 def _oracle_graph(
-    pauli_set: PauliSet, want_anticommute: bool, chunk_size: int, kernel: str
+    pauli_set: PauliSet,
+    want_anticommute: bool,
+    chunk_size: int,
+    kernel: str,
+    n_workers: int = 1,
 ) -> CSRGraph:
     oracle = pauli_set.oracle(kernel)
     tile = _oracle_tile(pauli_set, chunk_size)
-    chunks = [
-        (i, j)
-        for i, j in sweep_block_hits(
-            pauli_set.n, _block_fn(oracle, want_anticommute), tile
+    block_fn = _block_fn(oracle, want_anticommute)
+    if n_workers > 1:
+        # Imported lazily: repro.parallel pulls in this package, so a
+        # module-level import would be circular.
+        from repro.parallel.executor import make_executor
+        from repro.parallel.pool import block_sweep_chunks
+
+        hit_stream = block_sweep_chunks(
+            pauli_set.n, block_fn, tile,
+            executor=make_executor("auto", n_workers),
         )
-        if len(i)
-    ]
+    else:
+        hit_stream = sweep_block_hits(pauli_set.n, block_fn, tile)
+    chunks = [(i, j) for i, j in hit_stream if len(i)]
     return csr_from_coo_chunks(chunks, pauli_set.n)
 
 

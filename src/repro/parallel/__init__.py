@@ -1,6 +1,45 @@
-"""Parallel execution substrate (paper §I's parallel implementation)."""
+"""Parallel execution substrate (paper §I's parallel implementation).
 
-from repro.parallel.partition import PairRange, partition_pairs
-from repro.parallel.pool import parallel_conflict_graph
+Three layers: partitioners slice the pair/tile domain
+(:mod:`repro.parallel.partition`), execution backends run task lists
+over workers (:mod:`repro.parallel.executor`), and the sweep dispatcher
+wires kernels to backends (:mod:`repro.parallel.pool`).
+"""
 
-__all__ = ["PairRange", "partition_pairs", "parallel_conflict_graph"]
+from repro.parallel.executor import (
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    default_start_method,
+    make_executor,
+)
+from repro.parallel.partition import (
+    PairRange,
+    TileBlock,
+    block_pair_count,
+    partition_pairs,
+    partition_tiles,
+    tile_grid,
+)
+from repro.parallel.pool import (
+    block_sweep_chunks,
+    conflict_sweep_chunks,
+    parallel_conflict_graph,
+)
+
+__all__ = [
+    "Executor",
+    "PoolExecutor",
+    "SerialExecutor",
+    "default_start_method",
+    "make_executor",
+    "PairRange",
+    "TileBlock",
+    "block_pair_count",
+    "partition_pairs",
+    "partition_tiles",
+    "tile_grid",
+    "block_sweep_chunks",
+    "conflict_sweep_chunks",
+    "parallel_conflict_graph",
+]

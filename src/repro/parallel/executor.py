@@ -1,0 +1,181 @@
+"""Execution backends: a common submit/gather interface over workers.
+
+The paper ships "a sequential and a parallel implementation" (§I).  This
+module is the seam between the two: every pair/tile sweep in the library
+is expressed as *(initializer payload, task list, task function)* and
+handed to an :class:`Executor`, which decides where the tasks run.
+
+- :class:`SerialExecutor` — runs tasks in-process, in order.  The
+  correctness reference and the right choice for small problems (no
+  process start-up, no result pickling).
+- :class:`PoolExecutor` — a ``multiprocessing.Pool`` of worker
+  processes.  The payload (encoded Pauli strings, color masks, oracle
+  state) is shipped **once per worker** through the pool initializer:
+  under the ``fork`` start method it is inherited copy-on-write at fork
+  time; where fork is unavailable (Windows, macOS default) the same
+  initializer arguments are pickled to each worker instead, so the
+  backend degrades gracefully to ``spawn`` with identical semantics.
+
+Both backends preserve task order in their results, which is what lets
+the tile sweep keep its deterministic chunk stream — parallel and
+serial conflict-graph builds are bit-identical per seed (see
+:mod:`repro.parallel.pool`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterator, Sequence
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "make_executor",
+    "default_start_method",
+]
+
+
+def default_start_method() -> str:
+    """``"fork"`` where the platform offers it, else ``"spawn"``.
+
+    Fork ships the worker payload copy-on-write (zero marshalling);
+    spawn pickles the initializer arguments per worker.  Both are
+    correct — fork is just cheaper, so it wins when available.
+    """
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class Executor(ABC):
+    """Submit/gather interface shared by all backends.
+
+    An executor runs ``task_fn`` over ``tasks`` after installing
+    ``payload`` via ``initializer`` exactly once per worker, and returns
+    the results *in task order* — the ordering contract the
+    deterministic CSR assembly relies on.
+    """
+
+    #: Worker processes the backend will use (1 for serial).
+    n_workers: int = 1
+
+    @abstractmethod
+    def imap(
+        self,
+        task_fn: Callable,
+        tasks: Sequence,
+        initializer: Callable | None = None,
+        payload: tuple = (),
+    ) -> Iterator:
+        """Run ``task_fn`` over ``tasks``, yielding results in task
+        order as they complete — the streaming form consumers use when
+        results feed a bounded buffer (e.g. the device COO stream)."""
+
+    def map(
+        self,
+        task_fn: Callable,
+        tasks: Sequence,
+        initializer: Callable | None = None,
+        payload: tuple = (),
+    ) -> list:
+        """Run ``task_fn`` over ``tasks``; all results, in task order."""
+        return list(self.imap(task_fn, tasks, initializer, payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_workers={self.n_workers})"
+
+
+class SerialExecutor(Executor):
+    """In-process backend: initializer then an ordered loop."""
+
+    n_workers = 1
+
+    def imap(
+        self,
+        task_fn: Callable,
+        tasks: Sequence,
+        initializer: Callable | None = None,
+        payload: tuple = (),
+    ) -> Iterator:
+        if initializer is not None:
+            initializer(*payload)
+        for t in tasks:
+            yield task_fn(t)
+
+
+class PoolExecutor(Executor):
+    """Process-pool backend over ``multiprocessing``.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size (>= 1).
+    start_method:
+        ``"fork"``, ``"spawn"``, ``"forkserver"`` or ``None`` to pick
+        :func:`default_start_method`.  With fork the payload is
+        inherited copy-on-write; otherwise the initializer arguments
+        are pickled into each worker — the documented fallback for
+        platforms without fork.
+    """
+
+    def __init__(self, n_workers: int = 2, start_method: str | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if start_method is not None and start_method not in mp.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} not available "
+                f"(have {mp.get_all_start_methods()})"
+            )
+        self.n_workers = n_workers
+        self.start_method = start_method
+
+    def resolved_start_method(self) -> str:
+        """The start method a :meth:`map` call will actually use."""
+        return self.start_method or default_start_method()
+
+    def imap(
+        self,
+        task_fn: Callable,
+        tasks: Sequence,
+        initializer: Callable | None = None,
+        payload: tuple = (),
+    ) -> Iterator:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        ctx = mp.get_context(self.resolved_start_method())
+        with ctx.Pool(
+            min(self.n_workers, len(tasks)),
+            initializer=initializer,
+            initargs=payload,
+        ) as pool:
+            # imap (not map): results stream back in task order as they
+            # finish, so a consumer filling a bounded buffer — the
+            # device COO stream — never holds every strip's hit arrays
+            # at once and can abort (DeviceOutOfMemory) mid-sweep.
+            yield from pool.imap(task_fn, tasks)
+
+
+def make_executor(
+    spec: str | Executor = "auto",
+    n_workers: int = 1,
+    start_method: str | None = None,
+) -> Executor:
+    """Resolve an executor spec to a backend instance.
+
+    ``"serial"`` always runs in-process; ``"pool"`` always builds a
+    :class:`PoolExecutor` (even for one worker — useful in tests);
+    ``"auto"`` picks serial for ``n_workers <= 1`` and a pool
+    otherwise.  An :class:`Executor` instance passes through untouched.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if spec == "serial":
+        return SerialExecutor()
+    if spec == "pool":
+        return PoolExecutor(max(1, n_workers), start_method)
+    if spec == "auto":
+        if n_workers <= 1:
+            return SerialExecutor()
+        return PoolExecutor(n_workers, start_method)
+    raise ValueError(f"unknown executor spec {spec!r}")

@@ -1,16 +1,39 @@
-"""Pair-space partitioning for parallel execution.
+"""Pair-space and tile-grid partitioning for parallel execution.
 
-The conflict-edge kernel's domain is the flat index range
-``[0, n(n-1)/2)``.  Partitioning that range — rather than the vertex
-range — gives perfectly balanced work regardless of degree skew, the
-same decomposition the paper's CUDA grid uses.
+Two decompositions of the same upper-triangular pair domain:
+
+- :func:`partition_pairs` splits the flat index range ``[0, n(n-1)/2)``
+  into balanced contiguous :class:`PairRange` slices — the domain of
+  the ``"pairs"`` gather engine, one simulated SIMT thread per pair.
+- :func:`partition_tiles` splits the upper-triangular ``(row_block,
+  col_block)`` grid of the tiled engine (:mod:`repro.device.tiles`)
+  into balanced contiguous :class:`TileBlock` strips.  Tiles keep their
+  canonical row-major order inside each strip, so a parallel sweep that
+  concatenates strip results in strip order reproduces the serial
+  sweep's chunk stream exactly — the property that keeps parallel and
+  serial conflict-graph builds bit-identical.
+
+Partitioning either domain — rather than the vertex range — gives
+balanced work regardless of degree skew, the same decomposition the
+paper's CUDA grid uses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.util.chunking import num_pairs
+
+__all__ = [
+    "PairRange",
+    "partition_pairs",
+    "TileBlock",
+    "tile_grid",
+    "block_pair_count",
+    "partition_tiles",
+]
 
 
 @dataclass(frozen=True)
@@ -38,3 +61,77 @@ def partition_pairs(n: int, n_parts: int) -> list[PairRange]:
         out.append(PairRange(start, start + size))
         start += size
     return [r for r in out if len(r) > 0] or [PairRange(0, 0)]
+
+
+@dataclass(frozen=True)
+class TileBlock:
+    """Contiguous strip ``[start, stop)`` of upper-triangle tile indices
+    in the canonical row-major order of
+    :func:`repro.device.tiles.iter_tiles`, plus its pair weight."""
+
+    start: int
+    stop: int
+    n_pairs: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def tile_grid(n: int, tile: int) -> list[tuple[int, int, int, int]]:
+    """The canonical upper-triangle tile list ``[(r0, r1, c0, c1), ...]``.
+
+    Materialized from :func:`repro.device.tiles.iter_tiles` so every
+    consumer — serial sweep, partitioner, pool workers — agrees on one
+    tile order.
+    """
+    from repro.device.tiles import iter_tiles
+
+    return list(iter_tiles(n, tile))
+
+
+def block_pair_count(r0: int, r1: int, c0: int, c1: int) -> int:
+    """Number of unordered pairs ``i < j`` inside one tile.
+
+    Diagonal tiles of :func:`tile_grid` are square (``r0 == c0``,
+    ``r1 == c1``) and contribute their strict upper triangle; every
+    other tile sits fully above the diagonal and contributes the whole
+    rectangle.
+    """
+    if r0 == c0:
+        s = r1 - r0
+        return s * (s - 1) // 2
+    return (r1 - r0) * (c1 - c0)
+
+
+def partition_tiles(n: int, tile: int, n_parts: int) -> list[TileBlock]:
+    """Split the tile grid into ``n_parts`` contiguous strips balanced
+    by pair weight.
+
+    Strip boundaries are placed where the prefix pair weight crosses
+    the ideal targets ``total * k / n_parts``, so each strip's weight
+    differs from the ideal share by less than one tile's weight (tiles
+    are atomic — "balance within one tile").  Empty strips are dropped;
+    a degenerate grid yields one empty block, mirroring
+    :func:`partition_pairs`.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    grid = tile_grid(n, tile)
+    weights = np.array(
+        [block_pair_count(*b) for b in grid], dtype=np.int64
+    )
+    prefix = np.cumsum(weights)
+    total = int(prefix[-1]) if len(prefix) else 0
+    if total == 0:
+        return [TileBlock(0, 0, 0)]
+    # Boundary after the first tile whose prefix weight reaches each
+    # ideal target; monotone by construction of the targets.
+    targets = (total * np.arange(1, n_parts, dtype=np.int64)) // n_parts
+    cuts = np.searchsorted(prefix, targets, side="left") + 1
+    bounds = [0, *cuts.tolist(), len(grid)]
+    out = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        if b > a:
+            w = int(prefix[b - 1]) - (int(prefix[a - 1]) if a else 0)
+            out.append(TileBlock(a, b, w))
+    return out or [TileBlock(0, 0, 0)]

@@ -1,63 +1,210 @@
-"""Multiprocess conflict-edge enumeration.
+"""Unified parallel pair-sweep dispatch over execution backends.
 
 The paper provides "a sequential and a parallel implementation" (§I);
 its CPU parallelism is shared-memory threads over pair chunks.  Python
-processes substitute for threads (the GIL rules those out for compute),
-with the encoded Pauli payload and color masks shipped once per worker
-via fork/initializer — workers then stream disjoint
-:class:`PairRange` slices and return only their conflict edges, so the
-communication volume is output-proportional, as the HPC guides
-prescribe.
+processes substitute for threads (the GIL rules those out for compute).
+This module is the seam where every conflict/graph sweep meets an
+:class:`~repro.parallel.executor.Executor`:
+
+- the ``"tiled"`` engine partitions the upper-triangular tile grid into
+  balanced contiguous :class:`~repro.parallel.partition.TileBlock`
+  strips, each worker runs the fused block-broadcast kernel over its
+  strip and returns one concatenated ``(i, j)`` hit pair;
+- the ``"pairs"`` engine partitions the flat index range into
+  :class:`~repro.parallel.partition.PairRange` slices and runs the
+  legacy gather kernel over each.
+
+Either way the payload (edge oracle, packed color masks) ships **once
+per worker** via the pool initializer — inherited copy-on-write under
+fork, pickled under spawn — and workers return only their conflict
+edges, so communication volume stays output-proportional, as the HPC
+guides prescribe.  Strips keep the canonical tile order and results are
+gathered in task order, so the concatenated hit stream is identical to
+the serial sweep's and the two-pass CSR assembly
+(:func:`repro.graphs.csr.csr_from_coo_chunks`) produces **bit-identical
+graphs** for serial and parallel builds per seed.
 
 On a single-core box this demonstrates correctness, not speedup; the
-Table V speedup comes from the vectorized device kernel instead.
+Table V speedup comes from the vectorized kernels instead.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
+from collections.abc import Iterator
 
 import numpy as np
 
-from repro.device.kernels import conflict_pair_kernel
-from repro.graphs.csr import CSRGraph, from_edge_list
-from repro.parallel.partition import PairRange, partition_pairs
+from repro.device.tiles import (
+    DEFAULT_TILE_BYTES,
+    EdgeBlockFn,
+    TileScratch,
+    block_hits_strip,
+    conflict_hits_strip,
+    sweep_block_hits,
+    sweep_conflict_chunks,
+    tile_edge,
+)
+from repro.graphs.csr import CSRGraph, csr_from_coo_chunks
+from repro.parallel.executor import Executor, SerialExecutor, make_executor
+from repro.parallel.partition import (
+    partition_pairs,
+    partition_tiles,
+    tile_grid,
+)
 from repro.pauli.anticommute import AnticommuteOracle
 from repro.util.chunking import pair_index_to_ij
 
-# Worker-global state, installed by the pool initializer (fork-friendly:
-# inherited copy-on-write, never pickled per task).
+__all__ = [
+    "conflict_sweep_chunks",
+    "block_sweep_chunks",
+    "parallel_conflict_graph",
+    "TASKS_PER_WORKER",
+]
+
+#: Tasks handed to the pool per worker: a few strips each so stragglers
+#: (denser strips, busier cores) rebalance through the pool queue.
+TASKS_PER_WORKER = 4
+
+# Worker-global state, installed by the pool initializer (fork: the
+# payload is inherited copy-on-write at fork time; spawn: the same
+# initializer arguments are pickled once per worker — never per task).
 _WORKER: dict = {}
 
 
-def _init_worker(chars: np.ndarray, colmasks: np.ndarray, want_anticommute: bool):
-    _WORKER["oracle"] = AnticommuteOracle(chars)
-    _WORKER["colmasks"] = colmasks
-    _WORKER["want_anticommute"] = want_anticommute
+def _init_sweep_worker(payload: dict) -> None:
+    """Install the sweep payload; pre-build per-worker tile state."""
+    _WORKER.clear()
+    _WORKER.update(payload)
+    if payload["engine"] == "tiled":
+        _WORKER["grid"] = tile_grid(payload["n"], payload["tile"])
+        _WORKER["scratch"] = TileScratch(payload["tile"])
 
 
-def _edge_mask(i: np.ndarray, j: np.ndarray) -> np.ndarray:
-    oracle: AnticommuteOracle = _WORKER["oracle"]
-    if _WORKER["want_anticommute"]:
-        return oracle.anticommute(i, j)
-    return oracle.commute_edges(i, j)
+def _run_tile_strip(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    """Worker task: fused conflict kernel over one strip of tiles."""
+    start, stop = task
+    return conflict_hits_strip(
+        _WORKER["colmasks"],
+        _WORKER["grid"][start:stop],
+        _WORKER["edge_mask_fn"],
+        _WORKER["edge_block_fn"],
+        scratch=_WORKER["scratch"],
+    )
 
 
-def _scan_range(args: tuple[int, int, int, int]) -> tuple[np.ndarray, np.ndarray]:
-    """Worker task: conflict edges within one flat pair range."""
-    start, stop, n, chunk = args
+def _run_pair_range(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    """Worker task: gather-engine conflict scan of one flat pair range."""
+    from repro.device.kernels import conflict_pair_kernel
+
+    start, stop = task
+    n = _WORKER["n"]
+    chunk = _WORKER["chunk_size"]
+    edge_mask_fn = _WORKER["edge_mask_fn"]
+    colmasks = _WORKER["colmasks"]
     us, vs = [], []
     for s in range(start, stop, chunk):
         e = min(s + chunk, stop)
         k = np.arange(s, e, dtype=np.int64)
         i, j = pair_index_to_ij(k, n)
-        mask = conflict_pair_kernel(_edge_mask, _WORKER["colmasks"], i, j).astype(bool)
+        mask = conflict_pair_kernel(edge_mask_fn, colmasks, i, j).astype(bool)
         if mask.any():
             us.append(i[mask])
             vs.append(j[mask])
-    u = np.concatenate(us) if us else np.empty(0, dtype=np.int64)
-    v = np.concatenate(vs) if vs else np.empty(0, dtype=np.int64)
-    return u, v
+    if not us:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(us), np.concatenate(vs)
+
+
+def _init_block_worker(payload: dict) -> None:
+    _WORKER.clear()
+    _WORKER.update(payload)
+    _WORKER["grid"] = tile_grid(payload["n"], payload["tile"])
+
+
+def _run_block_strip(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    """Worker task: generic block predicate over one strip of tiles."""
+    start, stop = task
+    return block_hits_strip(_WORKER["block_fn"], _WORKER["grid"][start:stop])
+
+
+def conflict_sweep_chunks(
+    n: int,
+    edge_mask_fn,
+    colmasks: np.ndarray,
+    chunk_size: int = 1 << 18,
+    engine: str = "tiled",
+    edge_block_fn: EdgeBlockFn | None = None,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
+    tile: int | None = None,
+    executor: Executor | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Executor-routed conflict sweep: yield ``(i, j)`` edge chunks.
+
+    The single entry point behind the host build
+    (:mod:`repro.core.conflict`), the device build
+    (:mod:`repro.device.csr_build`) and
+    :func:`parallel_conflict_graph`.  A serial backend (or ``None``)
+    short-circuits to the streaming in-process sweep — same kernels,
+    same tile order, lowest memory.  A pool backend partitions the
+    domain into contiguous strips (tile grid for ``"tiled"``, flat pair
+    ranges for ``"pairs"``), ships the payload once per worker, and
+    yields the per-strip results in strip order, which makes the
+    concatenated hit stream — and therefore the assembled CSR —
+    bit-identical to the serial sweep's.
+    """
+    if engine not in ("tiled", "pairs"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "tiled" and tile is None:
+        tile = tile_edge(colmasks.shape[1], tile_bytes, n=n)
+    if executor is None or isinstance(executor, SerialExecutor):
+        yield from sweep_conflict_chunks(
+            n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+            tile_bytes=tile_bytes, tile=tile,
+        )
+        return
+    n_tasks = max(1, executor.n_workers) * TASKS_PER_WORKER
+    if engine == "tiled":
+        blocks = partition_tiles(n, tile, n_tasks)
+        tasks = [(b.start, b.stop) for b in blocks if len(b)]
+        task_fn = _run_tile_strip
+    else:
+        ranges = partition_pairs(n, n_tasks)
+        tasks = [(r.start, r.stop) for r in ranges if len(r)]
+        task_fn = _run_pair_range
+    payload = {
+        "n": n,
+        "engine": engine,
+        "tile": tile,
+        "chunk_size": chunk_size,
+        "colmasks": colmasks,
+        "edge_mask_fn": edge_mask_fn,
+        "edge_block_fn": edge_block_fn,
+    }
+    yield from executor.imap(
+        task_fn, tasks, initializer=_init_sweep_worker, payload=(payload,)
+    )
+
+
+def block_sweep_chunks(
+    n: int,
+    block_fn: EdgeBlockFn,
+    tile: int,
+    executor: Executor | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Executor-routed generic tiled pair sweep (explicit graph
+    builders): yield upper-triangle ``(i, j)`` hits of ``block_fn`` in
+    canonical tile order, strip-parallel when a pool backend is given."""
+    if executor is None or isinstance(executor, SerialExecutor):
+        yield from sweep_block_hits(n, block_fn, tile)
+        return
+    n_tasks = max(1, executor.n_workers) * TASKS_PER_WORKER
+    blocks = partition_tiles(n, tile, n_tasks)
+    tasks = [(b.start, b.stop) for b in blocks if len(b)]
+    payload = {"n": n, "tile": tile, "block_fn": block_fn}
+    yield from executor.imap(
+        _run_block_strip, tasks, initializer=_init_block_worker, payload=(payload,)
+    )
 
 
 def parallel_conflict_graph(
@@ -66,8 +213,16 @@ def parallel_conflict_graph(
     n_workers: int = 2,
     chunk_size: int = 1 << 16,
     want_anticommute: bool = False,
+    engine: str = "tiled",
+    tile_bytes: int = DEFAULT_TILE_BYTES,
+    executor: Executor | None = None,
 ) -> tuple[CSRGraph, int]:
-    """Build the conflict graph over a Pauli set with a process pool.
+    """Build the conflict graph over a Pauli set with worker processes.
+
+    Thin front end over :func:`conflict_sweep_chunks` plus the shared
+    two-pass count-then-fill CSR assembly — the same code path the
+    serial host build uses, so parallel and serial graphs are
+    bit-identical.
 
     Parameters
     ----------
@@ -77,31 +232,43 @@ def parallel_conflict_graph(
     colmasks:
         Packed candidate-color bitsets for the active vertices.
     n_workers:
-        Pool size; 1 short-circuits to an in-process scan.
+        Pool size; 1 short-circuits to the in-process streaming sweep.
+        Ignored when ``executor`` is given.
     want_anticommute:
         Color the anticommute graph itself instead of its complement
         (used by tests to cross-check orientations).
+    engine:
+        ``"tiled"`` block-broadcast sweep (default) or ``"pairs"`` flat
+        gather chunks.
+    executor:
+        Explicit backend; overrides ``n_workers``.
 
     Returns
     -------
     (graph, n_conflict_edges)
     """
-    n = pauli_set.n
-    ranges = partition_pairs(n, max(1, n_workers * 4))
-    tasks = [(r.start, r.stop, n, chunk_size) for r in ranges if len(r)]
-    if n_workers <= 1:
-        _init_worker(pauli_set.chars, colmasks, want_anticommute)
-        results = [_scan_range(t) for t in tasks]
+    oracle = AnticommuteOracle(pauli_set.chars)
+    if want_anticommute:
+        edge_mask_fn = oracle.anticommute
+        edge_block_fn = oracle.anticommute_block
     else:
-        ctx = mp.get_context("fork")
-        with ctx.Pool(
-            n_workers,
-            initializer=_init_worker,
-            initargs=(pauli_set.chars, colmasks, want_anticommute),
-        ) as pool:
-            results = pool.map(_scan_range, tasks)
-    us = [u for u, _ in results if len(u)]
-    vs = [v for _, v in results if len(v)]
-    u = np.concatenate(us) if us else np.empty(0, dtype=np.int64)
-    v = np.concatenate(vs) if vs else np.empty(0, dtype=np.int64)
-    return from_edge_list(u, v, n), len(u)
+        edge_mask_fn = oracle.commute_edges
+        edge_block_fn = oracle.commute_block
+    if executor is None:
+        executor = make_executor("auto", n_workers)
+    chunks: list[tuple[np.ndarray, np.ndarray]] = []
+    m = 0
+    for u, v in conflict_sweep_chunks(
+        pauli_set.n,
+        edge_mask_fn,
+        colmasks,
+        chunk_size=chunk_size,
+        engine=engine,
+        edge_block_fn=edge_block_fn,
+        tile_bytes=tile_bytes,
+        executor=executor,
+    ):
+        if len(u):
+            chunks.append((u, v))
+            m += len(u)
+    return csr_from_coo_chunks(chunks, pauli_set.n), m

@@ -21,11 +21,20 @@ class TestValidation:
             {"conflict_order": "bogus"},
             {"max_iterations": 0},
             {"grow_on_stall": 0.5},
+            {"engine": "warp"},
+            {"n_workers": 0},
+            {"executor": "threads"},
         ],
     )
     def test_invalid_rejected(self, kwargs):
         with pytest.raises(ValueError):
             PicassoParams(**kwargs)
+
+    def test_backend_defaults(self):
+        p = PicassoParams()
+        assert p.n_workers == 1
+        assert p.executor == "auto"
+        assert p.with_(n_workers=4, executor="pool").n_workers == 4
 
 
 class TestSizing:

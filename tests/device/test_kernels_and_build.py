@@ -129,6 +129,53 @@ class TestAlgorithm3:
         with pytest.raises(DeviceOutOfMemory):
             build_conflict_csr(80, src.edge_mask, masks, dev)
 
+    def test_parallel_build_bit_identical_and_scratch_per_worker(self):
+        """A multi-worker Algorithm 3 build returns the same CSR and
+        charges one tile scratch per worker against the budget."""
+        src, _, masks = make_inputs(n=80)
+        serial_dev = DeviceSim(budget_bytes=1 << 24)
+        ref, s_ref = build_conflict_csr(
+            80, src.edge_mask, masks, serial_dev, edge_block_fn=src.edge_block
+        )
+        par_dev = DeviceSim(budget_bytes=1 << 24)
+        got, s_got = build_conflict_csr(
+            80, src.edge_mask, masks, par_dev,
+            edge_block_fn=src.edge_block, n_workers=2,
+        )
+        assert s_got.n_workers == 2
+        assert s_got.n_conflict_edges == s_ref.n_conflict_edges
+        np.testing.assert_array_equal(got.offsets, ref.offsets)
+        np.testing.assert_array_equal(got.targets, ref.targets)
+        # Same tile edge fits both budgets here, so the only difference
+        # is the second worker's private scratch.
+        assert par_dev.peak_bytes > serial_dev.peak_bytes
+
+    def test_parallel_scratch_pressure_degrades_to_pairs(self):
+        """When per-worker scratch cannot fit, the build falls back to
+        the scratch-free pair engine instead of overcommitting."""
+        src, _, masks = make_inputs(n=80)
+        fixed = masks.nbytes + 2 * 80 * 4
+        dev = DeviceSim(budget_bytes=fixed + 110 * 1024)
+        _, stats = build_conflict_csr(
+            80, src.edge_mask, masks, dev,
+            edge_block_fn=src.edge_block, n_workers=8,
+        )
+        assert stats.engine == "pairs"
+        assert stats.n_workers == 8
+
+    def test_parallel_oom_aborts_cleanly(self):
+        """COO overflow mid-stream with a pool backend must raise
+        DeviceOutOfMemory promptly and tear the workers down (the
+        generator close path), not hang on undelivered results."""
+        src, _, masks = make_inputs(n=80)
+        dev = DeviceSim(budget_bytes=masks.nbytes + 2 * 80 * 4 + 1024)
+        with pytest.raises(DeviceOutOfMemory):
+            build_conflict_csr(
+                80, src.edge_mask, masks, dev,
+                edge_block_fn=src.edge_block, n_workers=2,
+            )
+        assert dev.used_bytes == 0
+
     def test_counter_width_switch(self):
         """|V|^2 >= 2^32 should use 8-byte counters: verify the alloc
         arithmetic via peak bytes on a synthetic size."""

@@ -1,0 +1,124 @@
+"""Tests for the execution backend layer (serial / pool, fork / spawn)."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.conflict import build_conflict_graph
+from repro.core.palette import assign_color_lists
+from repro.core.sources import PauliComplementSource
+from repro.parallel.executor import (
+    PoolExecutor,
+    SerialExecutor,
+    default_start_method,
+    make_executor,
+)
+from repro.pauli import random_pauli_set
+
+# Module-level so they pickle into spawn-context pool workers.
+_STATE: dict = {}
+
+
+def _install(bias):
+    _STATE["bias"] = bias
+
+
+def _square_plus_bias(x):
+    return x * x + _STATE["bias"]
+
+
+class TestSerialExecutor:
+    def test_map_order_and_initializer(self):
+        ex = SerialExecutor()
+        out = ex.map(_square_plus_bias, [3, 1, 2], initializer=_install, payload=(10,))
+        assert out == [19, 11, 14]
+
+    def test_empty_tasks(self):
+        assert SerialExecutor().map(_square_plus_bias, []) == []
+
+
+class TestPoolExecutor:
+    def test_map_preserves_task_order(self):
+        ex = PoolExecutor(2)
+        out = ex.map(_square_plus_bias, list(range(10)), initializer=_install, payload=(1,))
+        assert out == [k * k + 1 for k in range(10)]
+
+    def test_spawn_forced(self):
+        """The documented fallback path: payload pickled per worker."""
+        ex = PoolExecutor(2, start_method="spawn")
+        assert ex.resolved_start_method() == "spawn"
+        out = ex.map(_square_plus_bias, [4, 5], initializer=_install, payload=(-16,))
+        assert out == [0, 9]
+
+    def test_empty_tasks_skip_pool(self):
+        assert PoolExecutor(2).map(_square_plus_bias, []) == []
+
+    def test_imap_streams_in_task_order(self):
+        """The streaming form the device COO path consumes: results
+        arrive incrementally but strictly in task order."""
+        ex = PoolExecutor(2)
+        it = ex.imap(_square_plus_bias, [3, 1, 2], initializer=_install, payload=(0,))
+        assert next(it) == 9
+        assert list(it) == [1, 4]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            PoolExecutor(0)
+
+    def test_invalid_start_method(self):
+        with pytest.raises(ValueError, match="not available"):
+            PoolExecutor(2, start_method="teleport")
+
+    def test_default_start_method_prefers_fork(self, monkeypatch):
+        if "fork" in mp.get_all_start_methods():
+            assert default_start_method() == "fork"
+        monkeypatch.setattr(
+            mp, "get_all_start_methods", lambda: ["spawn", "forkserver"]
+        )
+        assert default_start_method() == "spawn"
+        assert PoolExecutor(2).resolved_start_method() == "spawn"
+
+
+class TestMakeExecutor:
+    def test_auto(self):
+        assert isinstance(make_executor("auto", 1), SerialExecutor)
+        ex = make_executor("auto", 3)
+        assert isinstance(ex, PoolExecutor)
+        assert ex.n_workers == 3
+
+    def test_forced_backends(self):
+        assert isinstance(make_executor("serial", 8), SerialExecutor)
+        ex = make_executor("pool", 1)
+        assert isinstance(ex, PoolExecutor)
+        assert ex.n_workers == 1
+
+    def test_instance_passthrough(self):
+        ex = PoolExecutor(2)
+        assert make_executor(ex) is ex
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("threads")
+
+
+class TestSpawnConflictBuild:
+    def test_spawn_build_bit_identical(self):
+        """Forcing spawn must reproduce the serial CSR bit for bit —
+        the backend the fork-less platforms fall back to."""
+        ps = random_pauli_set(90, 6, seed=3)
+        _, masks = assign_color_lists(90, 14, 4, rng=1)
+        src = PauliComplementSource(ps)
+        ref, m_ref = build_conflict_graph(
+            90, src.edge_mask, masks, edge_block_fn=src.edge_block
+        )
+        got, m_got = build_conflict_graph(
+            90,
+            src.edge_mask,
+            masks,
+            edge_block_fn=src.edge_block,
+            executor=PoolExecutor(2, start_method="spawn"),
+        )
+        assert m_got == m_ref
+        np.testing.assert_array_equal(got.offsets, ref.offsets)
+        np.testing.assert_array_equal(got.targets, ref.targets)

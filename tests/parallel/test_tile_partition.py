@@ -1,0 +1,98 @@
+"""Unit tests for the TileBlock tile-grid partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.tiles import iter_tiles, upper_triangle_mask
+from repro.parallel.partition import (
+    TileBlock,
+    block_pair_count,
+    partition_tiles,
+    tile_grid,
+)
+from repro.util.chunking import num_pairs
+
+
+class TestTileGrid:
+    def test_matches_iter_tiles_order(self):
+        assert tile_grid(300, 64) == list(iter_tiles(300, 64))
+
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=1, max_value=97),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_block_pair_count_exact(self, n, tile):
+        """Per-tile weights sum to the whole pair space, and each equals
+        the tile's actual strict-upper-triangle census."""
+        total = 0
+        for r0, r1, c0, c1 in tile_grid(n, tile):
+            w = block_pair_count(r0, r1, c0, c1)
+            assert w == int(upper_triangle_mask(r0, r1, c0, c1).sum())
+            total += w
+        assert total == num_pairs(n)
+
+
+class TestPartitionTiles:
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=1, max_value=97),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_full_coverage_no_overlap(self, n, tile, parts):
+        """Strips tile [0, n_tiles) contiguously, weights add up."""
+        grid = tile_grid(n, tile)
+        blocks = partition_tiles(n, tile, parts)
+        prev_stop = 0
+        for b in blocks:
+            assert b.start == prev_stop
+            prev_stop = b.stop
+        assert prev_stop == len(grid) or (
+            num_pairs(n) == 0 and blocks == [TileBlock(0, 0, 0)]
+        )
+        assert sum(b.n_pairs for b in blocks) == num_pairs(n)
+
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.integers(min_value=1, max_value=97),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_balance_within_one_tile(self, n, tile, parts):
+        """Every strip's weight is within one tile's weight of the
+        ideal share — tiles are atomic, so that is the best possible
+        contiguous balance."""
+        grid = tile_grid(n, tile)
+        weights = [block_pair_count(*b) for b in grid]
+        w_max = max(weights)
+        ideal = num_pairs(n) / parts
+        for b in partition_tiles(n, tile, parts):
+            assert abs(b.n_pairs - ideal) < w_max + 1
+
+    def test_covers_every_pair_exactly_once(self):
+        """Expanding the strips' tiles marks each i < j pair once."""
+        n, tile = 37, 8
+        grid = tile_grid(n, tile)
+        seen = np.zeros((n, n), dtype=np.int64)
+        for b in partition_tiles(n, tile, 5):
+            for r0, r1, c0, c1 in grid[b.start : b.stop]:
+                seen[r0:r1, c0:c1] += upper_triangle_mask(r0, r1, c0, c1)
+        ii, jj = np.triu_indices(n, k=1)
+        assert (seen[ii, jj] == 1).all()
+        assert seen.sum() == num_pairs(n)
+
+    def test_more_parts_than_tiles(self):
+        blocks = partition_tiles(10, 64, 8)
+        assert len(blocks) == 1
+        assert blocks[0].n_pairs == num_pairs(10)
+
+    def test_degenerate(self):
+        assert partition_tiles(1, 64, 4) == [TileBlock(0, 0, 0)]
+        assert partition_tiles(0, 64, 4) == [TileBlock(0, 0, 0)]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            partition_tiles(10, 64, 0)
