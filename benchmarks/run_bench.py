@@ -1,19 +1,24 @@
-"""Perf-trajectory entry point: engines and execution backends.
+"""Perf-trajectory entry point: engines, backends, and gather paths.
 
 Runs ``Picasso.color`` end to end on random Pauli sets with both pair
 sweep engines (``tiled`` = block-broadcast kernels + bitset Algorithm 2,
 ``pairs`` = the legacy gather kernels + Python-set Algorithm 2) and,
-for the tiled engine, with the serial backend vs a ``--workers``-sized
-process pool.  All runs must produce identical colorings (serial and
-parallel builds are bit-identical per seed); elapsed seconds per phase
-land in ``BENCH_PR2.json`` at the repo root.  The JSON files form the
-performance trajectory: each PR appends ``BENCH_PR<N>.json`` so
+for the tiled engine, three execution configurations: the serial
+backend, a ``--workers``-sized *persistent* process pool with the
+default pickled result gather, and the same pool with the zero-copy
+shared-memory gather (``shm_gather=True`` — workers write hits into a
+Lemma 2-sized shared COO region; only hit counts cross the result
+pipe).  All runs must produce identical colorings (every backend and
+gather builds bit-identical conflict CSR per seed); elapsed seconds per
+phase land in ``BENCH_PR3.json`` at the repo root.  The JSON files form
+the performance trajectory: each PR appends ``BENCH_PR<N>.json`` so
 regressions are visible in review.
 
 The parallel rows record ``host_cpu_count``; on hosts with fewer cores
 than ``--workers`` the speedup is bounded by the core count (a
-single-core box demonstrates bit-identical correctness, not speedup)
-and the report says so explicitly.
+single-core box demonstrates bit-identical correctness plus the
+shm-vs-pickle communication delta, not parallel speedup) and the
+report says so explicitly.
 
 Usage::
 
@@ -37,10 +42,10 @@ from repro.core import Picasso, PicassoParams
 from repro.pauli import random_pauli_set
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_PR2.json"
+OUT_PATH = REPO_ROOT / "BENCH_PR3.json"
 #: --quick writes here instead, so a CI smoke run can never clobber
 #: the committed full-size trajectory file.
-QUICK_OUT_PATH = REPO_ROOT / "BENCH_PR2.quick.json"
+QUICK_OUT_PATH = REPO_ROOT / "BENCH_PR3.quick.json"
 
 #: (name, n strings, n qubits) — the last row is the acceptance
 #: headline: 10k strings over 50 qubits.
@@ -97,7 +102,10 @@ def main(argv=None) -> int:
     cpu_count = os.cpu_count() or 1
     cases = QUICK_CASES if args.quick else CASES
     report = {
-        "benchmark": "execution backends: tiled serial vs pool vs gather",
+        "benchmark": (
+            "execution backends: tiled serial vs persistent pool "
+            "(pickled vs shm gather) vs gather engine"
+        ),
         "n_workers": args.workers,
         "host_cpu_count": cpu_count,
         "cases": [],
@@ -106,8 +114,10 @@ def main(argv=None) -> int:
         report["core_ceiling_note"] = (
             f"host exposes {cpu_count} core(s) < {args.workers} workers: "
             "parallel rows are bounded by the core count and mainly "
-            "demonstrate bit-identical correctness plus dispatch overhead; "
-            "re-run on a multi-core host for the throughput numbers"
+            "demonstrate bit-identical correctness plus dispatch/gather "
+            "overhead (the shm-vs-pickle delta is still meaningful — it "
+            "measures communication, not compute); re-run on a "
+            "multi-core host for the throughput numbers"
         )
     for name, n, nq in cases:
         pauli_set = random_pauli_set(n, nq, seed=0)
@@ -117,37 +127,54 @@ def main(argv=None) -> int:
             PicassoParams(engine="tiled", n_workers=args.workers),
             args.seed,
         )
+        tiled_shm = run_config(
+            pauli_set,
+            PicassoParams(
+                engine="tiled", n_workers=args.workers, shm_gather=True
+            ),
+            args.seed,
+        )
         gather = run_config(pauli_set, PicassoParams(engine="pairs"), args.seed)
         identical = bool(
             np.array_equal(tiled["colors"], gather["colors"])
             and np.array_equal(tiled["colors"], tiled_par["colors"])
+            and np.array_equal(tiled["colors"], tiled_shm["colors"])
         )
-        for row in (tiled, tiled_par, gather):
+        for row in (tiled, tiled_par, tiled_shm, gather):
             row.pop("colors")
         engine_speedup = gather["total_s"] / max(tiled["total_s"], 1e-9)
         workers_build_speedup = tiled["conflict_build_s"] / max(
             tiled_par["conflict_build_s"], 1e-9
         )
         workers_total_speedup = tiled["total_s"] / max(tiled_par["total_s"], 1e-9)
+        # The ISSUE 3 headline: pickled result pipe vs zero-copy shared
+        # region, same pool size, same kernels.
+        shm_gather_build_speedup = tiled_par["conflict_build_s"] / max(
+            tiled_shm["conflict_build_s"], 1e-9
+        )
         row = {
             "name": name,
             "n_strings": n,
             "n_qubits": nq,
             "tiled": tiled,
             "tiled_parallel": tiled_par,
+            "tiled_parallel_shm": tiled_shm,
             "gather": gather,
             "engine_speedup": round(engine_speedup, 2),
             "workers_build_speedup": round(workers_build_speedup, 2),
             "workers_total_speedup": round(workers_total_speedup, 2),
+            "shm_gather_build_speedup": round(shm_gather_build_speedup, 2),
             "identical_colorings": identical,
         }
         report["cases"].append(row)
         print(
             f"{name:<14} n={n:>6} tiled={tiled['total_s']:>8.2f}s "
             f"tiled(x{args.workers}w)={tiled_par['total_s']:>8.2f}s "
+            f"shm(x{args.workers}w)={tiled_shm['total_s']:>8.2f}s "
             f"gather={gather['total_s']:>8.2f}s "
             f"engine={engine_speedup:.2f}x "
             f"workers_build={workers_build_speedup:.2f}x "
+            f"shm_build={shm_gather_build_speedup:.2f}x "
             f"identical={identical}"
         )
         if not identical:

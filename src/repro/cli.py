@@ -60,6 +60,10 @@ def _make_params(args: argparse.Namespace):
         overrides["n_workers"] = args.workers
     if getattr(args, "executor", None) is not None:
         overrides["executor"] = args.executor
+    if getattr(args, "shm", False):
+        overrides["shm_gather"] = True
+    if getattr(args, "pin", False):
+        overrides["pin_workers"] = True
     return base.with_(**overrides)
 
 
@@ -205,7 +209,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--executor", default=None, choices=["auto", "serial", "pool"],
         help="execution backend (default auto: serial for 1 worker, "
-        "process pool otherwise)",
+        "process pool otherwise); pools persist across iterations",
+    )
+    p.add_argument(
+        "--shm", action="store_true",
+        help="gather sweep hits through a shared-memory COO region "
+        "sized by the Lemma 2 estimate (zero-copy; bit-identical to "
+        "the default pickled gather)",
+    )
+    p.add_argument(
+        "--pin", action="store_true",
+        help="pin each pool worker to one core (sched_setaffinity; "
+        "no-op where unsupported)",
     )
     p.add_argument("--validate", action="store_true")
     p.add_argument("--output", "-o", default=None, help="write per-vertex colors")

@@ -31,9 +31,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.device.tiles import DEFAULT_TILE_BYTES, EdgeBlockFn
-from repro.graphs.csr import CSRGraph, csr_from_coo_chunks
-from repro.parallel.executor import Executor, make_executor
-from repro.parallel.pool import conflict_sweep_chunks
+from repro.graphs.csr import CSRGraph
+from repro.parallel.executor import Executor, owned_executor
+from repro.parallel.pool import conflict_sweep_chunks, gathered_conflict_csr
 
 
 def build_conflict_graph(
@@ -46,6 +46,10 @@ def build_conflict_graph(
     tile_bytes: int = DEFAULT_TILE_BYTES,
     n_workers: int = 1,
     executor: str | Executor = "auto",
+    shm: bool = False,
+    est_conflict_edges: float | None = None,
+    source=None,
+    active_idx: np.ndarray | None = None,
 ) -> tuple[CSRGraph, int]:
     """Build the conflict graph over ``n`` active vertices on the host.
 
@@ -71,22 +75,33 @@ def build_conflict_graph(
         :class:`~repro.parallel.executor.Executor` instance.  With a
         pool backend the edge oracle and colmasks ship once per worker
         and the strip results are gathered in deterministic order, so
-        the built CSR is bit-identical to the serial one.
+        the built CSR is bit-identical to the serial one.  A
+        spec-created backend is closed before returning; a passed
+        instance stays open for its owner (executor lifecycle
+        contract).
+    shm:
+        Gather hits through a shared COO region sized by the Lemma 2
+        estimate (:mod:`repro.parallel.shm`) instead of pickling strip
+        results — zero-copy into the CSR assembly.  Ignored for serial
+        backends, where results never cross a pipe to begin with.
+    est_conflict_edges:
+        Expected conflict-edge count for shm region sizing (the driver
+        passes the Lemma 2 expectation; ``None`` derives a bound from
+        the masks).
+    source, active_idx:
+        Root edge source and active-vertex indices for the
+        persistent-pool delta payload (see
+        :mod:`repro.parallel.pool`).
 
     Returns the CSR conflict graph and the conflict-edge count.
     """
-    ex = make_executor(executor, n_workers)
-    chunks: list[tuple[np.ndarray, np.ndarray]] = []
-    m = 0
-    for i, j in conflict_sweep_chunks(
-        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
-        tile_bytes=tile_bytes, executor=ex,
-    ):
-        if len(i):
-            chunks.append((i, j))
-            m += len(i)
-    graph = csr_from_coo_chunks(chunks, n)
-    return graph, m
+    with owned_executor(executor, n_workers) as ex:
+        return gathered_conflict_csr(
+            n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+            tile_bytes=tile_bytes, executor=ex, shm=shm,
+            est_conflict_edges=est_conflict_edges,
+            source=source, active_idx=active_idx,
+        )
 
 
 def count_conflict_edges(
@@ -102,11 +117,11 @@ def count_conflict_edges(
 ) -> int:
     """Conflict-edge count without materializing the graph (parameter
     sweeps, Fig. 5's ``max |Ec|`` heatmap)."""
-    ex = make_executor(executor, n_workers)
-    total = 0
-    for i, _ in conflict_sweep_chunks(
-        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
-        tile_bytes=tile_bytes, executor=ex,
-    ):
-        total += len(i)
-    return total
+    with owned_executor(executor, n_workers) as ex:
+        total = 0
+        for i, _ in conflict_sweep_chunks(
+            n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+            tile_bytes=tile_bytes, executor=ex,
+        ):
+            total += len(i)
+        return total

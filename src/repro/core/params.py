@@ -55,8 +55,22 @@ class PicassoParams:
     executor:
         Execution backend: ``"auto"`` (serial for one worker, pool
         otherwise), ``"serial"`` (force in-process), or ``"pool"``
-        (force a process pool even for one worker).  See
+        (force a process pool even for one worker).  The pool is
+        persistent: created once per run, reused across Algorithm 1
+        iterations (only the per-iteration colmasks delta ships to the
+        workers), and closed when the run ends.  See
         :mod:`repro.parallel.executor`.
+    shm_gather:
+        Gather sweep hits through a ``multiprocessing.shared_memory``
+        COO region sized by the Lemma 2 estimate instead of pickling
+        per-strip hit arrays through the pool's result pipe
+        (:mod:`repro.parallel.shm`).  Identical output either way —
+        serial, pickled-pool and shm-pool builds are bit-identical per
+        seed — so this is purely a communication-cost knob.
+    pin_workers:
+        Pin each pool worker to one core via ``os.sched_setaffinity``
+        so its tile scratch stays NUMA-local; silently ignored on
+        platforms without the call.
     """
 
     palette_fraction: float = 0.125
@@ -70,6 +84,8 @@ class PicassoParams:
     tile_budget_bytes: int = 1 << 24
     n_workers: int = 1
     executor: str = "auto"
+    shm_gather: bool = False
+    pin_workers: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.palette_fraction <= 1.0:

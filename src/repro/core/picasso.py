@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.coloring.base import ColoringResult
+from repro.core.analysis import expected_conflict_edges
 from repro.core.conflict import build_conflict_graph
 from repro.core.list_coloring import (
     greedy_list_color_dynamic,
@@ -34,6 +35,7 @@ from repro.graphs.csr import CSRGraph
 from repro.graphs.ops import induced_subgraph
 from repro.parallel.executor import make_executor
 from repro.pauli.strings import PauliSet
+from repro.util.chunking import num_pairs
 from repro.util.rng import as_generator
 
 
@@ -133,11 +135,26 @@ class Picasso:
 
     def color_source(self, source) -> PicassoResult:
         """Algorithm 1 over any edge source."""
+        params = self.params
+        # One persistent backend for the whole run: the pool is created
+        # once, the root source is installed into the workers under a
+        # payload token on the first sweep, and every later iteration
+        # ships only its delta (colmasks + active indices) — workers
+        # derive the iteration's subset oracle locally.  We created the
+        # executor from a spec, so we own it: the ``finally`` below
+        # closes it (worker processes are not leaked on success *or* on
+        # a non-convergence raise).
+        executor = make_executor(
+            params.executor, params.n_workers, pin=params.pin_workers
+        )
+        try:
+            return self._color_source_with(source, executor)
+        finally:
+            executor.close()
+
+    def _color_source_with(self, source, executor) -> PicassoResult:
         t_start = time.perf_counter()
         params = self.params
-        # One backend instance for the whole run; each iteration's sweep
-        # ships that iteration's payload once per worker.
-        executor = make_executor(params.executor, params.n_workers)
         n_total = source.n
         colors = np.full(n_total, -1, dtype=np.int64)
         active = np.arange(n_total, dtype=np.int64)
@@ -166,10 +183,20 @@ class Picasso:
             # Line 7: conflict graph (only conflicted edges materialize).
             # The tiled engine consumes the source's block oracle when
             # it has one (Pauli sources do; dense tiles then skip the
-            # pairwise survivor gather).
+            # pairwise survivor gather).  The *root* source plus the
+            # global active indices ride along so a persistent pool can
+            # reuse its installed payload and receive only this
+            # iteration's delta; the Lemma 2 expectation sizes the
+            # shared-memory gather region when that path is on.
             t0 = time.perf_counter()
             built_on_device: bool | None = None
             edge_block_fn = getattr(active_source, "edge_block", None)
+            est_edges = (
+                expected_conflict_edges(num_pairs(n), palette, list_size)
+                if params.shm_gather
+                else None
+            )
+            active_idx = active if it > 1 else None
             if self.device is not None:
                 gc, build_stats = build_conflict_csr(
                     n,
@@ -181,6 +208,10 @@ class Picasso:
                     edge_block_fn=edge_block_fn,
                     tile_bytes=params.tile_budget_bytes,
                     executor=executor,
+                    shm=params.shm_gather,
+                    est_conflict_edges=est_edges,
+                    source=source,
+                    active_idx=active_idx,
                 )
                 n_conf_edges = build_stats.n_conflict_edges
                 built_on_device = build_stats.built_on_device
@@ -194,6 +225,10 @@ class Picasso:
                     edge_block_fn=edge_block_fn,
                     tile_bytes=params.tile_budget_bytes,
                     executor=executor,
+                    shm=params.shm_gather,
+                    est_conflict_edges=est_edges,
+                    source=source,
+                    active_idx=active_idx,
                 )
             t_build = time.perf_counter() - t0
 

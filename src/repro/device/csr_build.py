@@ -31,8 +31,8 @@ from repro.device.tiles import (
     tile_scratch_bytes,
 )
 from repro.graphs.csr import CSRGraph
-from repro.parallel.executor import Executor, make_executor
-from repro.parallel.pool import conflict_sweep_chunks
+from repro.parallel.executor import Executor, SerialExecutor, owned_executor
+from repro.parallel.pool import conflict_hit_chunks
 
 
 @dataclass
@@ -46,6 +46,7 @@ class BuildStats:
     coo_capacity_edges: int
     engine: str = "pairs"
     n_workers: int = 1
+    gather: str = "pickle"
 
 
 def build_conflict_csr(
@@ -59,6 +60,10 @@ def build_conflict_csr(
     tile_bytes: int = DEFAULT_TILE_BYTES,
     n_workers: int = 1,
     executor: str | Executor = "auto",
+    shm: bool = False,
+    est_conflict_edges: float | None = None,
+    source=None,
+    active_idx=None,
 ) -> tuple[CSRGraph, BuildStats]:
     """Run Algorithm 3 on a simulated device.
 
@@ -94,14 +99,41 @@ def build_conflict_csr(
         resident block the same way).
     executor:
         Backend spec or instance (see :mod:`repro.parallel.executor`).
+        A spec-created backend is closed before returning; a passed
+        instance stays open for its owner.
+    shm:
+        Stage worker hits in a shared-memory COO region
+        (:mod:`repro.parallel.shm`) instead of the result pipe.  The
+        staging region is charged to the device budget like any other
+        allocation (pinned host staging of a real GPU gather), so OOM
+        semantics stay honest.  Ignored for serial backends.
+    est_conflict_edges:
+        Lemma 2 expectation for shm region sizing (``None`` derives a
+        bound from the masks).
+    source, active_idx:
+        Root edge source + active indices for the persistent-pool
+        delta payload (:mod:`repro.parallel.pool`).
 
     Returns
     -------
     (graph, stats):
         The conflict graph in CSR form plus build provenance.
     """
-    ex = make_executor(executor, n_workers)
+    with owned_executor(executor, n_workers) as ex:
+        return _algorithm3(
+            n, edge_mask_fn, colmasks, device, chunk_size, engine,
+            edge_block_fn, tile_bytes, ex, shm, est_conflict_edges,
+            source, active_idx,
+        )
+
+
+def _algorithm3(
+    n, edge_mask_fn, colmasks, device, chunk_size, engine, edge_block_fn,
+    tile_bytes, ex, shm, est_conflict_edges, source, active_idx,
+) -> tuple[CSRGraph, BuildStats]:
+    """Algorithm 3 proper, against an already-resolved executor."""
     workers = max(1, ex.n_workers)
+    use_shm = shm and not isinstance(ex, SerialExecutor)
 
     # Input residency: encoded strings + color lists live on device for
     # the kernel (approximated by the colmask bytes; the Pauli payload
@@ -136,36 +168,70 @@ def build_conflict_csr(
         else:
             engine = "pairs"
 
-    # COO buffer: min(worst case, all remaining memory). Each COO entry
-    # is two vertex ids.
+    # Shm staging must be budgeted *before* the COO buffer takes all
+    # remaining memory, or the mandatory staging allocation would find
+    # 0 bytes available whenever the worst case reaches the budget.
+    staging_hint = 0
+    if use_shm:
+        from repro.parallel.pool import TASKS_PER_WORKER
+        from repro.parallel.shm import estimate_conflict_edges, staging_bytes_hint
+
+        if est_conflict_edges is None:
+            # Reused below for slot planning too — one mask pass, not two.
+            est_conflict_edges = estimate_conflict_edges(n, colmasks)
+        staging_hint = staging_bytes_hint(
+            n, est_conflict_edges, workers * TASKS_PER_WORKER
+        )
+
+    # COO buffer: min(worst case, all remaining memory minus the shm
+    # staging reservation). Each COO entry is two vertex ids.
     id_bytes = 4 if n < 2**31 else 8
     worst_case_bytes = 2 * n * max(n - 1, 0) * id_bytes
-    coo_bytes = min(worst_case_bytes, device.available)
+    coo_bytes = min(worst_case_bytes, max(device.available - staging_hint, 0))
     device.alloc("coo_edges", coo_bytes)
     capacity = coo_bytes // (2 * id_bytes)
 
-    hits = conflict_sweep_chunks(
-        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
-        tile=tile, executor=ex,
-    )
+    # Shared-memory staging regions are device-charged as they appear
+    # (the initial region, plus a retry region on undershoot) — the
+    # pinned-host-staging analog of a real GPU gather.
+    shm_charges: list[str] = []
+
+    def _charge_shm_region(nbytes: int) -> None:
+        name = f"shm_coo_{len(shm_charges)}"
+        device.alloc(name, nbytes)
+        shm_charges.append(name)
 
     id_dtype = np.int32 if id_bytes == 4 else np.int64
     coo_u = np.empty(capacity, dtype=id_dtype)
     coo_v = np.empty(capacity, dtype=id_dtype)
     n_edges = 0
     try:
-        for ei, ej in hits:
-            if n_edges + len(ei) > capacity:
-                device.n_ooms += 1
-                from repro.device.sim import DeviceOutOfMemory
+        with conflict_hit_chunks(
+            n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+            tile=tile, executor=ex, shm=shm,
+            est_conflict_edges=est_conflict_edges,
+            source=source, active_idx=active_idx,
+            region_cb=_charge_shm_region,
+        ) as hit_stream:
+            try:
+                for ei, ej in hit_stream:
+                    if n_edges + len(ei) > capacity:
+                        device.n_ooms += 1
+                        from repro.device.sim import DeviceOutOfMemory
 
-                raise DeviceOutOfMemory(
-                    f"COO buffer overflow: {n_edges + len(ei)} conflict edges "
-                    f"exceed capacity {capacity}"
-                )
-            coo_u[n_edges : n_edges + len(ei)] = ei
-            coo_v[n_edges : n_edges + len(ej)] = ej
-            n_edges += len(ei)
+                        raise DeviceOutOfMemory(
+                            f"COO buffer overflow: {n_edges + len(ei)} "
+                            f"conflict edges exceed capacity {capacity}"
+                        )
+                    coo_u[n_edges : n_edges + len(ei)] = ei
+                    coo_v[n_edges : n_edges + len(ej)] = ej
+                    n_edges += len(ei)
+            finally:
+                # The loop variables are views into the shared region on
+                # the shm path; drop them before the gather context
+                # closes the segment, or the unmap would see live
+                # buffer exports.
+                ei = ej = None
 
         # Degree counters in one pass over the filled COO region —
         # O(|Ec| + n), independent of how many kernel launches fed it.
@@ -185,11 +251,8 @@ def build_conflict_csr(
             offsets, coo_u[:n_edges], coo_v[:n_edges], id_dtype
         )
     finally:
-        # Close the sweep generator explicitly: on an abort mid-stream
-        # (COO overflow) this unwinds the executor's pool context and
-        # terminates the workers now, instead of leaving them churning
-        # through discarded strips until garbage collection.
-        hits.close()
+        for name in shm_charges:
+            device.free(name)
         device.free("coo_edges")
         if tile is not None:
             device.free("tile_scratch")
@@ -204,6 +267,7 @@ def build_conflict_csr(
         coo_capacity_edges=int(capacity),
         engine=engine,
         n_workers=workers,
+        gather="shm" if use_shm else "pickle",
     )
     return graph, stats
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 from repro.device.tiles import (
     DEFAULT_TILE_BYTES,
     count_block_hits,
-    sweep_block_hits,
     tile_edge,
 )
 from repro.graphs.csr import CSRGraph, csr_from_coo_chunks
@@ -35,11 +34,12 @@ def anticommute_graph(
     chunk_size: int = 1 << 20,
     kernel: str = "iooh",
     n_workers: int = 1,
+    executor=None,
 ) -> CSRGraph:
     """Explicit graph ``G``: edges connect anticommuting string pairs."""
     return _oracle_graph(
         pauli_set, want_anticommute=True, chunk_size=chunk_size,
-        kernel=kernel, n_workers=n_workers,
+        kernel=kernel, n_workers=n_workers, executor=executor,
     )
 
 
@@ -48,12 +48,13 @@ def complement_graph(
     chunk_size: int = 1 << 20,
     kernel: str = "iooh",
     n_workers: int = 1,
+    executor=None,
 ) -> CSRGraph:
     """Explicit complement graph ``G'``: edges connect *commuting*
     distinct pairs — the graph the coloring baselines run on (§II-B)."""
     return _oracle_graph(
         pauli_set, want_anticommute=False, chunk_size=chunk_size,
-        kernel=kernel, n_workers=n_workers,
+        kernel=kernel, n_workers=n_workers, executor=executor,
     )
 
 
@@ -78,23 +79,30 @@ def _oracle_graph(
     chunk_size: int,
     kernel: str,
     n_workers: int = 1,
+    executor=None,
 ) -> CSRGraph:
     oracle = pauli_set.oracle(kernel)
     tile = _oracle_tile(pauli_set, chunk_size)
     block_fn = _block_fn(oracle, want_anticommute)
-    if n_workers > 1:
-        # Imported lazily: repro.parallel pulls in this package, so a
-        # module-level import would be circular.
-        from repro.parallel.executor import make_executor
-        from repro.parallel.pool import block_sweep_chunks
+    # Imported lazily: repro.parallel pulls in this package, so a
+    # module-level import would be circular.
+    from repro.parallel.executor import owned_executor
+    from repro.parallel.pool import block_sweep_chunks
 
-        hit_stream = block_sweep_chunks(
-            pauli_set.n, block_fn, tile,
-            executor=make_executor("auto", n_workers),
-        )
-    else:
-        hit_stream = sweep_block_hits(pauli_set.n, block_fn, tile)
-    chunks = [(i, j) for i, j in hit_stream if len(i)]
+    # One path for every backend: a serial executor short-circuits to
+    # the in-process sweep inside block_sweep_chunks, and the lifecycle
+    # contract (close what this call materialized, leave a passed
+    # instance open) lives in owned_executor.
+    with owned_executor(
+        executor if executor is not None else "auto", n_workers
+    ) as ex:
+        chunks = [
+            (i, j)
+            for i, j in block_sweep_chunks(
+                pauli_set.n, block_fn, tile, executor=ex
+            )
+            if len(i)
+        ]
     return csr_from_coo_chunks(chunks, pauli_set.n)
 
 

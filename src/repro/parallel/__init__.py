@@ -1,9 +1,11 @@
 """Parallel execution substrate (paper §I's parallel implementation).
 
-Three layers: partitioners slice the pair/tile domain
+Four layers: partitioners slice the pair/tile domain
 (:mod:`repro.parallel.partition`), execution backends run task lists
-over workers (:mod:`repro.parallel.executor`), and the sweep dispatcher
-wires kernels to backends (:mod:`repro.parallel.pool`).
+over persistent workers (:mod:`repro.parallel.executor`), the
+shared-memory gather carries hits back zero-copy
+(:mod:`repro.parallel.shm`), and the sweep dispatcher wires kernels to
+backends (:mod:`repro.parallel.pool`).
 """
 
 from repro.parallel.executor import (
@@ -12,6 +14,7 @@ from repro.parallel.executor import (
     SerialExecutor,
     default_start_method,
     make_executor,
+    pin_current_worker,
 )
 from repro.parallel.partition import (
     PairRange,
@@ -25,6 +28,14 @@ from repro.parallel.pool import (
     block_sweep_chunks,
     conflict_sweep_chunks,
     parallel_conflict_graph,
+    payload_token_for,
+)
+from repro.parallel.shm import (
+    ShmCooRegion,
+    ShmGatherResult,
+    estimate_conflict_edges,
+    plan_strip_slots,
+    shm_conflict_gather,
 )
 
 __all__ = [
@@ -33,6 +44,13 @@ __all__ = [
     "SerialExecutor",
     "default_start_method",
     "make_executor",
+    "pin_current_worker",
+    "ShmCooRegion",
+    "ShmGatherResult",
+    "estimate_conflict_edges",
+    "plan_strip_slots",
+    "shm_conflict_gather",
+    "payload_token_for",
     "PairRange",
     "TileBlock",
     "block_pair_count",

@@ -8,43 +8,138 @@ handed to an :class:`Executor`, which decides where the tasks run.
 - :class:`SerialExecutor` — runs tasks in-process, in order.  The
   correctness reference and the right choice for small problems (no
   process start-up, no result pickling).
-- :class:`PoolExecutor` — a ``multiprocessing.Pool`` of worker
-  processes.  The payload (encoded Pauli strings, color masks, oracle
-  state) is shipped **once per worker** through the pool initializer:
-  under the ``fork`` start method it is inherited copy-on-write at fork
-  time; where fork is unavailable (Windows, macOS default) the same
-  initializer arguments are pickled to each worker instead, so the
-  backend degrades gracefully to ``spawn`` with identical semantics.
+- :class:`PoolExecutor` — a **persistent** ``multiprocessing.Pool`` of
+  worker processes, created lazily on first use and reused across
+  sweeps (Algorithm 1 runs one sweep per iteration; re-forking a pool
+  for each was pure start-up overhead).  Payloads are installed into
+  live workers through a barrier-gated broadcast — every worker runs
+  the initializer exactly once per install — and repeat installs that
+  present the same ``payload_token`` may ship only a delta (the worker
+  keeps the token-cached static part; see
+  :mod:`repro.parallel.pool`).  Optional ``pin=True`` pins each worker
+  to one core via ``os.sched_setaffinity`` so its tile scratch stays
+  NUMA-local (a silent no-op on platforms without the call).
 
 Both backends preserve task order in their results, which is what lets
 the tile sweep keep its deterministic chunk stream — parallel and
 serial conflict-graph builds are bit-identical per seed (see
 :mod:`repro.parallel.pool`).
+
+Lifecycle contract: whoever materializes an :class:`Executor` from a
+spec string owns it and must :meth:`~Executor.close` it (or use it as a
+context manager) — a persistent pool holds live worker processes until
+then.  Passing an :class:`Executor` *instance* into a build function
+leaves ownership with the caller.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
 
 __all__ = [
     "Executor",
     "SerialExecutor",
     "PoolExecutor",
     "make_executor",
+    "owned_executor",
     "default_start_method",
+    "pin_current_worker",
 ]
+
+#: Seconds a worker waits at the install barrier before declaring the
+#: broadcast broken (a worker died mid-install) instead of hanging.
+#: Overridable via ``REPRO_BROADCAST_TIMEOUT_S`` for hosts where a
+#: spawn-mode payload pickle can legitimately straggle.
+BROADCAST_TIMEOUT_S = float(os.environ.get("REPRO_BROADCAST_TIMEOUT_S", "120"))
+
+#: Seconds the dispatcher waits for any single strip result before
+#: declaring the worker dead.  multiprocessing never re-issues a task
+#: lost to an abruptly-killed worker, so an unbounded wait would hang
+#: the whole build; generous because one strip of a very large sweep
+#: can legitimately run for minutes.  Overridable via
+#: ``REPRO_RESULT_TIMEOUT_S`` for runs whose densest strip outlasts it.
+RESULT_TIMEOUT_S = float(os.environ.get("REPRO_RESULT_TIMEOUT_S", "600"))
 
 
 def default_start_method() -> str:
     """``"fork"`` where the platform offers it, else ``"spawn"``.
 
-    Fork ships the worker payload copy-on-write (zero marshalling);
-    spawn pickles the initializer arguments per worker.  Both are
-    correct — fork is just cheaper, so it wins when available.
+    The ``REPRO_START_METHOD`` environment variable overrides the
+    choice (CI forces ``spawn`` to prove the fork-less path works);
+    an unavailable forced method raises.
     """
+    forced = os.environ.get("REPRO_START_METHOD")
+    if forced:
+        if forced not in mp.get_all_start_methods():
+            raise ValueError(
+                f"REPRO_START_METHOD={forced!r} not available "
+                f"(have {mp.get_all_start_methods()})"
+            )
+        return forced
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def pin_current_worker(rank: int) -> bool:
+    """Pin the calling process to one CPU of its allowed set.
+
+    Worker ``rank`` takes CPU ``allowed[rank % len(allowed)]``, so a
+    pool of ``n_workers <= cores`` lands one worker per core and tile
+    scratch stays core-local.  Returns True when the affinity call
+    succeeded; platforms without ``sched_setaffinity`` (macOS, Windows)
+    and restricted environments degrade to a silent no-op (False).
+    """
+    getaff = getattr(os, "sched_getaffinity", None)
+    setaff = getattr(os, "sched_setaffinity", None)
+    if getaff is None or setaff is None:
+        return False
+    try:
+        allowed = sorted(getaff(0))
+        if not allowed:
+            return False
+        setaff(0, {allowed[rank % len(allowed)]})
+        return True
+    except OSError:
+        return False
+
+
+# -- pool-worker bootstrap ------------------------------------------------
+#
+# Installed once per worker process at pool creation.  The rank counter
+# hands each worker a distinct index (for pinning); the barrier gates
+# payload broadcasts so each of the pool's workers runs an install
+# exactly once (a worker that finished its install blocks on the
+# barrier, so the next install task must go to a different worker).
+
+_POOL_LOCAL: dict = {}
+
+
+def _bootstrap_pool_worker(rank_counter, barrier, pin: bool) -> None:
+    with rank_counter.get_lock():
+        rank = rank_counter.value
+        rank_counter.value += 1
+    _POOL_LOCAL["rank"] = rank
+    _POOL_LOCAL["barrier"] = barrier
+    _POOL_LOCAL["pinned"] = pin_current_worker(rank) if pin else False
+
+
+def _broadcast_task(arg) -> None:
+    fn, payload = arg
+    barrier = _POOL_LOCAL.get("barrier")
+    try:
+        fn(*payload)
+    except BaseException:
+        # Release the peers *now*: without the abort, the n-1 healthy
+        # workers would sit at the barrier for the full timeout before
+        # this failure could surface to the dispatcher.
+        if barrier is not None:
+            barrier.abort()
+        raise
+    if barrier is not None:
+        barrier.wait(BROADCAST_TIMEOUT_S)
 
 
 class Executor(ABC):
@@ -59,6 +154,15 @@ class Executor(ABC):
     #: Worker processes the backend will use (1 for serial).
     n_workers: int = 1
 
+    #: Whether workers outlive a sweep, making the token-cached static
+    #: payload worth keeping (True only for persistent pools — an
+    #: in-process backend would just pin large arrays in the dispatcher).
+    supports_payload_cache: bool = False
+
+    #: Token of the payload currently installed in the workers (None
+    #: when nothing is installed or the pool has been recycled).
+    _installed_token = None
+
     @abstractmethod
     def imap(
         self,
@@ -66,10 +170,27 @@ class Executor(ABC):
         tasks: Sequence,
         initializer: Callable | None = None,
         payload: tuple = (),
+        payload_token=None,
     ) -> Iterator:
-        """Run ``task_fn`` over ``tasks``, yielding results in task
-        order as they complete — the streaming form consumers use when
-        results feed a bounded buffer (e.g. the device COO stream)."""
+        """Run ``task_fn`` over ``tasks``, returning an iterator of
+        results in task order — the streaming form consumers use when
+        results feed a bounded buffer (e.g. the device COO stream).
+
+        Contract (identical across backends):
+
+        - **Empty task lists never run the initializer** — there is no
+          work, so no payload is installed anywhere.
+        - **Otherwise initialization is eager**: by the time ``imap``
+          returns, ``initializer(*payload)`` has run once in every
+          worker (in-process for the serial backend).  Consumers may
+          rely on worker state being installed even before the first
+          result is consumed.
+        - Task *execution* streams lazily; results come back strictly
+          in task order.
+        - ``payload_token``, when not None, names the installed payload
+          so a later call can ask :meth:`holds_token` and ship a
+          smaller delta payload instead of the full one.
+        """
 
     def map(
         self,
@@ -77,16 +198,44 @@ class Executor(ABC):
         tasks: Sequence,
         initializer: Callable | None = None,
         payload: tuple = (),
+        payload_token=None,
     ) -> list:
         """Run ``task_fn`` over ``tasks``; all results, in task order."""
-        return list(self.imap(task_fn, tasks, initializer, payload))
+        return list(
+            self.imap(task_fn, tasks, initializer, payload, payload_token)
+        )
+
+    def holds_token(self, token) -> bool:
+        """True when the workers still hold the payload installed under
+        ``token`` (same live pool, no recycle since) — the signal that a
+        delta payload suffices for the next install."""
+        return token is not None and token == self._installed_token
+
+    def finalize(self, fn: Callable, payload: tuple = ()) -> None:
+        """Run a cleanup function once per worker after a sweep.
+
+        The dispatcher calls this in a ``finally`` to drop per-sweep
+        worker state (colmasks, scratch, derived oracles) so large
+        arrays do not stay alive between builds.  In-process for the
+        serial backend; a broadcast for pools (no-op when no pool is
+        live)."""
+        fn(*payload)
+
+    def close(self) -> None:
+        """Release backend resources (worker processes).  Idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(n_workers={self.n_workers})"
 
 
 class SerialExecutor(Executor):
-    """In-process backend: initializer then an ordered loop."""
+    """In-process backend: eager initializer, then an ordered lazy loop."""
 
     n_workers = 1
 
@@ -96,15 +245,32 @@ class SerialExecutor(Executor):
         tasks: Sequence,
         initializer: Callable | None = None,
         payload: tuple = (),
+        payload_token=None,
     ) -> Iterator:
+        tasks = list(tasks)
+        if not tasks:
+            return iter(())
         if initializer is not None:
             initializer(*payload)
-        for t in tasks:
-            yield task_fn(t)
+            self._installed_token = payload_token
+        return map(task_fn, tasks)
+
+    def close(self) -> None:
+        self._installed_token = None
 
 
 class PoolExecutor(Executor):
-    """Process-pool backend over ``multiprocessing``.
+    """Persistent process-pool backend over ``multiprocessing``.
+
+    The pool is created lazily on first use and **reused across
+    sweeps** until :meth:`close`.  Each sweep's payload is installed
+    into the live workers through a barrier-gated broadcast (one
+    install per worker, pickled through the task pipe under every start
+    method — the fork-time copy-on-write shortcut of the per-sweep pool
+    design no longer applies, but neither does its per-sweep fork
+    cost).  An abandoned result stream (a consumer aborting mid-sweep,
+    e.g. on :class:`~repro.device.sim.DeviceOutOfMemory`) recycles the
+    pool so stale tasks never leak into the next sweep.
 
     Parameters
     ----------
@@ -112,13 +278,21 @@ class PoolExecutor(Executor):
         Pool size (>= 1).
     start_method:
         ``"fork"``, ``"spawn"``, ``"forkserver"`` or ``None`` to pick
-        :func:`default_start_method`.  With fork the payload is
-        inherited copy-on-write; otherwise the initializer arguments
-        are pickled into each worker — the documented fallback for
-        platforms without fork.
+        :func:`default_start_method`.
+    pin:
+        Pin each worker to one core via ``os.sched_setaffinity``
+        (worker ``rank`` -> allowed CPU ``rank % n_cpus``).  A silent
+        no-op on platforms without the call.
     """
 
-    def __init__(self, n_workers: int = 2, start_method: str | None = None) -> None:
+    supports_payload_cache = True
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        start_method: str | None = None,
+        pin: bool = False,
+    ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if start_method is not None and start_method not in mp.get_all_start_methods():
@@ -128,10 +302,125 @@ class PoolExecutor(Executor):
             )
         self.n_workers = n_workers
         self.start_method = start_method
+        self.pin = pin
+        self._pool = None
+        self._installed_pids = None
+        self._streaming = False
 
     def resolved_start_method(self) -> str:
-        """The start method a :meth:`map` call will actually use."""
+        """The start method the pool will actually use."""
         return self.start_method or default_start_method()
+
+    @property
+    def pool_alive(self) -> bool:
+        """True while a worker pool is live (created and not recycled)."""
+        return self._pool is not None
+
+    def worker_pids(self) -> list[int] | None:
+        """Pids of the live pool's workers ([] when no pool is up) —
+        lets tests and diagnostics verify the pool actually persists
+        across sweeps instead of being re-forked.  Returns ``None``
+        when the interpreter's Pool internals are unreadable; the
+        token check treats that as "unknown workers" and forces a full
+        install rather than risking a stale delta."""
+        if self._pool is None:
+            return []
+        try:
+            return sorted(p.pid for p in self._pool._pool)
+        except AttributeError:  # pragma: no cover - future interpreters
+            return None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            ctx = mp.get_context(self.resolved_start_method())
+            rank_counter = ctx.Value("i", 0)
+            barrier = ctx.Barrier(self.n_workers)
+            self._pool = ctx.Pool(
+                self.n_workers,
+                initializer=_bootstrap_pool_worker,
+                initargs=(rank_counter, barrier, self.pin),
+            )
+            self._installed_token = None
+        return self._pool
+
+    def _broadcast(self, fn: Callable, payload: tuple) -> None:
+        pool = self._ensure_pool()
+        try:
+            # chunksize=1 so the n_workers install tasks go to n_workers
+            # distinct workers: a worker that ran its install blocks at
+            # the barrier until every worker has one.  map_async + a
+            # bounded get, not map: a worker abruptly killed after
+            # dequeuing its install task never reports a result and
+            # multiprocessing does not re-issue lost tasks, so a plain
+            # map would block forever.
+            result = pool.map_async(
+                _broadcast_task, [(fn, payload)] * self.n_workers, chunksize=1
+            )
+            result.get(BROADCAST_TIMEOUT_S + 30.0)
+        except mp.TimeoutError:
+            self._recycle()
+            raise RuntimeError(
+                "payload broadcast timed out — a pool worker likely died "
+                "mid-install; the pool has been recycled"
+            ) from None
+        except Exception:
+            # An install failed (or its barrier broke): the barrier is
+            # unusable for this pool either way, so recycle now — the
+            # next use gets fresh workers and a fresh barrier instead
+            # of raising BrokenBarrierError forever.
+            self._recycle()
+            raise
+
+    def _stream(self, result_iter) -> Iterator:
+        """Yield pool results with a bounded per-result wait; recycle
+        the pool if the stream is abandoned mid-sweep or wedged."""
+        done = False
+        try:
+            while True:
+                try:
+                    item = result_iter.next(RESULT_TIMEOUT_S)
+                except StopIteration:
+                    break
+                except mp.TimeoutError:
+                    # Same failure mode the install broadcast guards
+                    # against: a worker killed mid-strip never reports
+                    # and the task is never re-issued.
+                    raise RuntimeError(
+                        f"no sweep result within {RESULT_TIMEOUT_S:.0f}s — "
+                        "a pool worker likely died mid-strip; the pool "
+                        "has been recycled"
+                    ) from None
+                yield item
+            done = True
+        finally:
+            self._streaming = False
+            if not done:
+                # Unconsumed tasks are churning toward a dead iterator;
+                # terminate them now and start clean next sweep.
+                self._recycle()
+
+    def _recycle(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._installed_token = None
+        self._installed_pids = None
+        self._streaming = False
+
+    def holds_token(self, token) -> bool:
+        """A pool additionally demands the worker set is unchanged: a
+        worker that died was auto-respawned by ``multiprocessing`` with
+        an empty payload cache, so a delta-only install would strand it
+        (and stall the healthy workers at the broadcast barrier) — any
+        respawn (or an unreadable worker set) forces the next install
+        to ship the full payload."""
+        pids = self.worker_pids()
+        return (
+            super().holds_token(token)
+            and pids is not None
+            and pids == getattr(self, "_installed_pids", None)
+        )
 
     def imap(
         self,
@@ -139,43 +428,107 @@ class PoolExecutor(Executor):
         tasks: Sequence,
         initializer: Callable | None = None,
         payload: tuple = (),
+        payload_token=None,
     ) -> Iterator:
         tasks = list(tasks)
         if not tasks:
-            return
-        ctx = mp.get_context(self.resolved_start_method())
-        with ctx.Pool(
-            min(self.n_workers, len(tasks)),
-            initializer=initializer,
-            initargs=payload,
-        ) as pool:
-            # imap (not map): results stream back in task order as they
-            # finish, so a consumer filling a bounded buffer — the
-            # device COO stream — never holds every strip's hit arrays
-            # at once and can abort (DeviceOutOfMemory) mid-sweep.
-            yield from pool.imap(task_fn, tasks)
+            return iter(())
+        if self._streaming:
+            # PR 2's per-sweep pools isolated overlapping sweeps by
+            # construction; a persistent pool cannot — a new install
+            # would overwrite worker state while the previous sweep's
+            # strips are still queued, silently corrupting its results.
+            # Fail loudly instead.
+            raise RuntimeError(
+                "PoolExecutor does not support overlapping sweeps: finish, "
+                "close, or abandon the previous result stream first"
+            )
+        pool = self._ensure_pool()
+        if initializer is not None:
+            self._broadcast(initializer, payload)
+            self._installed_token = payload_token
+            self._installed_pids = self.worker_pids()
+        # imap (not map): results stream back in task order as they
+        # finish, so a consumer filling a bounded buffer — the device
+        # COO stream — never holds every strip's hit arrays at once and
+        # can abort (DeviceOutOfMemory) mid-sweep.
+        self._streaming = True
+        return self._stream(pool.imap(task_fn, tasks))
+
+    def finalize(self, fn: Callable, payload: tuple = ()) -> None:
+        if self._pool is not None:
+            try:
+                self._broadcast(fn, payload)
+            except Exception:
+                # Finalize runs inside dispatchers' ``finally`` blocks:
+                # a cleanup failure must not mask the sweep's own
+                # exception.  _broadcast already recycled the pool, so
+                # the stale worker state is gone with the processes.
+                pass
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        self._installed_token = None
+        self._installed_pids = None
+        self._streaming = False
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self._recycle()
+        except Exception:
+            pass
 
 
 def make_executor(
     spec: str | Executor = "auto",
     n_workers: int = 1,
     start_method: str | None = None,
+    pin: bool = False,
 ) -> Executor:
     """Resolve an executor spec to a backend instance.
 
     ``"serial"`` always runs in-process; ``"pool"`` always builds a
     :class:`PoolExecutor` (even for one worker — useful in tests);
     ``"auto"`` picks serial for ``n_workers <= 1`` and a pool
-    otherwise.  An :class:`Executor` instance passes through untouched.
+    otherwise.  An :class:`Executor` instance passes through untouched
+    (``pin``/``start_method`` are ignored for it; the instance's owner
+    configured and closes it).  Spec-created executors are owned by the
+    caller, who must close them.
     """
     if isinstance(spec, Executor):
         return spec
     if spec == "serial":
         return SerialExecutor()
     if spec == "pool":
-        return PoolExecutor(max(1, n_workers), start_method)
+        return PoolExecutor(max(1, n_workers), start_method, pin=pin)
     if spec == "auto":
         if n_workers <= 1:
             return SerialExecutor()
-        return PoolExecutor(n_workers, start_method)
+        return PoolExecutor(n_workers, start_method, pin=pin)
     raise ValueError(f"unknown executor spec {spec!r}")
+
+
+@contextmanager
+def owned_executor(
+    spec: str | Executor = "auto",
+    n_workers: int = 1,
+    start_method: str | None = None,
+    pin: bool = False,
+):
+    """The executor-lifecycle contract as a context manager.
+
+    Resolves ``spec`` like :func:`make_executor` and, on exit, closes
+    the backend *only if this call materialized it* — an
+    :class:`Executor` instance passed through stays open for its owner.
+    Every build function that accepts a spec-or-instance uses this one
+    expression of the ownership rule instead of hand-rolling it.
+    """
+    ex = make_executor(spec, n_workers, start_method, pin)
+    try:
+        yield ex
+    finally:
+        if ex is not spec:
+            ex.close()

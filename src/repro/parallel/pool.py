@@ -14,15 +14,32 @@ This module is the seam where every conflict/graph sweep meets an
   :class:`~repro.parallel.partition.PairRange` slices and runs the
   legacy gather kernel over each.
 
-Either way the payload (edge oracle, packed color masks) ships **once
-per worker** via the pool initializer — inherited copy-on-write under
-fork, pickled under spawn — and workers return only their conflict
-edges, so communication volume stays output-proportional, as the HPC
-guides prescribe.  Strips keep the canonical tile order and results are
-gathered in task order, so the concatenated hit stream is identical to
-the serial sweep's and the two-pass CSR assembly
+Payload shipping is two-tier for the persistent pool.  The payload is
+split into a **static** part (the edge source / oracle and engine
+configuration — constant across Algorithm 1 iterations when the caller
+passes the *root* ``source``) and a per-sweep **delta** (the packed
+color masks, the active-vertex indices and the tile size).  The static
+part is installed once under a token and cached worker-side; while the
+pool lives and the token matches, later sweeps ship only the delta —
+the per-iteration colmasks instead of the full payload.  Workers derive
+the iteration's edge oracle from the cached root source and the active
+indices, which reproduces the dispatcher's own subset construction
+exactly.  Strips keep the canonical tile order and results are gathered
+in task order, so the concatenated hit stream is identical to the
+serial sweep's and the two-pass CSR assembly
 (:func:`repro.graphs.csr.csr_from_coo_chunks`) produces **bit-identical
 graphs** for serial and parallel builds per seed.
+
+Hit arrays travel back either pickled through the result pipe (the
+default) or through a shared-memory COO region
+(:mod:`repro.parallel.shm`) where workers write into reserved slices
+and only hit counts cross the pipe.
+
+Per-sweep worker state (colmasks, derived oracle, tile scratch) is
+cleared in a ``finally`` on the dispatcher side after every sweep —
+both in-process and, for pools, via a teardown broadcast — so large
+arrays never stay alive between builds.  Only the token-cached static
+payload survives, by design, until the executor closes.
 
 On a single-core box this demonstrates correctness, not speedup; the
 Table V speedup comes from the vectorized kernels instead.
@@ -30,7 +47,11 @@ Table V speedup comes from the vectorized kernels instead.
 
 from __future__ import annotations
 
+import itertools
+import threading
+import weakref
 from collections.abc import Iterator
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -45,39 +66,200 @@ from repro.device.tiles import (
     tile_edge,
 )
 from repro.graphs.csr import CSRGraph, csr_from_coo_chunks
-from repro.parallel.executor import Executor, SerialExecutor, make_executor
+from repro.parallel.executor import Executor, SerialExecutor, owned_executor
 from repro.parallel.partition import (
     partition_pairs,
     partition_tiles,
     tile_grid,
+)
+from repro.parallel.shm import (
+    close_worker_attachments,
+    shm_conflict_gather,
+    write_strip_hits,
 )
 from repro.pauli.anticommute import AnticommuteOracle
 from repro.util.chunking import pair_index_to_ij
 
 __all__ = [
     "conflict_sweep_chunks",
+    "conflict_hit_chunks",
+    "gathered_conflict_csr",
     "block_sweep_chunks",
     "parallel_conflict_graph",
+    "payload_token_for",
+    "PayloadNotInstalled",
     "TASKS_PER_WORKER",
 ]
+
+
+class PayloadNotInstalled(RuntimeError):
+    """A delta-only install reached a worker without the cached static
+    payload (it was auto-respawned after dying) — the one install
+    failure that is mechanically recoverable by re-sending in full."""
 
 #: Tasks handed to the pool per worker: a few strips each so stragglers
 #: (denser strips, busier cores) rebalance through the pool queue.
 TASKS_PER_WORKER = 4
 
-# Worker-global state, installed by the pool initializer (fork: the
-# payload is inherited copy-on-write at fork time; spawn: the same
-# initializer arguments are pickled once per worker — never per task).
+# Worker-global per-sweep state, installed by the payload initializer
+# and cleared by :func:`teardown_sweep_worker` when the sweep ends.
 _WORKER: dict = {}
 
+# Worker-global static-payload cache: one entry, keyed by the payload
+# token.  Holds the root edge source and engine configuration across
+# sweeps of a persistent pool so repeat installs can ship only the
+# delta.  Replaced on the next full install; dies with the pool.
+_STATIC_CACHE: dict = {}
 
-def _init_sweep_worker(payload: dict) -> None:
-    """Install the sweep payload; pre-build per-worker tile state."""
+# Dispatcher-side token registry: every source object gets one stable
+# token for its lifetime; tokens are never reused (a dead source's
+# entry vanishes with it and the counter only moves forward), so a
+# stale worker cache can never be mistaken for the current payload.
+_TOKEN_COUNTER = itertools.count(1)
+_SOURCE_TOKENS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def payload_token_for(source) -> int:
+    """Stable install token for a root edge source object."""
+    token = _SOURCE_TOKENS.get(source)
+    if token is None:
+        token = next(_TOKEN_COUNTER)
+        _SOURCE_TOKENS[source] = token
+    return token
+
+
+def sweep_payload(
+    n: int,
+    engine: str,
+    tile: int | None,
+    chunk_size: int,
+    colmasks: np.ndarray,
+    edge_mask_fn,
+    edge_block_fn,
+    source=None,
+    active_idx: np.ndarray | None = None,
+    executor: Executor | None = None,
+) -> tuple[dict, int | None]:
+    """Build the install payload and its token for one sweep.
+
+    With a ``source`` and a cache-capable executor the static part is
+    the *root* source; when the executor still holds the token, the
+    static part is elided and only the delta (colmasks, active indices,
+    tile) ships.  Without a source the edge functions themselves are
+    the static part and every install is a full one (token ``None``).
+    """
+    delta = {
+        "n": n,
+        "tile": tile,
+        "colmasks": colmasks,
+        "active_idx": active_idx,
+    }
+    if source is not None and executor is not None and executor.supports_payload_cache:
+        # The token must name the *whole* static part, not just the
+        # source: the same executor swept with a different engine or
+        # chunk size is a different payload, and a delta-only install
+        # against the old cache would run stale config.
+        token = (payload_token_for(source), engine, chunk_size)
+        static = {
+            "engine": engine,
+            "chunk_size": chunk_size,
+            "source": source,
+            "edge_mask_fn": None,
+            "edge_block_fn": None,
+        }
+        if executor.holds_token(token):
+            static = None
+        return {"token": token, "static": static, "delta": delta}, token
+    static = {
+        "engine": engine,
+        "chunk_size": chunk_size,
+        "source": source,
+        "edge_mask_fn": edge_mask_fn if source is None else None,
+        "edge_block_fn": edge_block_fn if source is None else None,
+    }
+    return {"token": None, "static": static, "delta": delta}, None
+
+
+def imap_sweep(executor: Executor, task_fn, tasks, payload_args: dict):
+    """Install a sweep payload and stream the tasks, retrying once on
+    the delta-install respawn race.
+
+    ``holds_token`` is checked when the payload is built, but a worker
+    can die (and be auto-respawned with an empty cache) before the
+    broadcast lands; the stranded worker then raises
+    :class:`PayloadNotInstalled` and the broadcast recycles the pool.
+    Because the install has no side effects beyond worker state, the
+    recovery is mechanical: rebuild the payload (the recycled pool no
+    longer holds the token, so it comes out as a full install) and
+    submit once more.  The failure may also surface as a *peer's*
+    ``BrokenBarrierError`` (the stranded worker aborts the install
+    barrier, and whichever error the pool reports wins), so both count
+    as the respawn race — but only for a delta-only install; a failure
+    on a *full* install is a real error and propagates.
+    """
+    payload, token = sweep_payload(**payload_args)
+    try:
+        return executor.imap(
+            task_fn, tasks, initializer=init_sweep_worker,
+            payload=(payload,), payload_token=token,
+        )
+    except (PayloadNotInstalled, threading.BrokenBarrierError):
+        if payload["static"] is not None:
+            raise
+        payload, token = sweep_payload(**payload_args)
+        return executor.imap(
+            task_fn, tasks, initializer=init_sweep_worker,
+            payload=(payload,), payload_token=token,
+        )
+
+
+def init_sweep_worker(payload: dict) -> None:
+    """Install a sweep payload; derive per-worker oracle and tile state.
+
+    A payload whose ``static`` part is ``None`` reuses the worker's
+    token-cached static payload (the delta-only install of a persistent
+    pool).  The previous sweep's state is dropped first.
+    """
+    token = payload["token"]
+    static = payload["static"]
+    if static is not None:
+        # Any full install evicts the previous cache entry — a
+        # token-less sweep (bare edge fns) must not leave the prior
+        # run's root source pinned in the worker.
+        _STATIC_CACHE.clear()
+        if token is not None:
+            _STATIC_CACHE[token] = static
+    else:
+        static = _STATIC_CACHE.get(token)
+        if static is None:
+            raise PayloadNotInstalled(
+                f"sweep payload token {token!r} not installed in this worker "
+                "(respawned after a crash?)"
+            )
+    teardown_sweep_worker()
+    _WORKER.update(static)
+    _WORKER.update(payload["delta"])
+    source = _WORKER.get("source")
+    if source is not None:
+        idx = _WORKER.get("active_idx")
+        if idx is not None:
+            source = source.subset(idx)
+        _WORKER["edge_mask_fn"] = source.edge_mask
+        _WORKER["edge_block_fn"] = getattr(source, "edge_block", None)
+    if _WORKER["engine"] == "tiled":
+        _WORKER["grid"] = tile_grid(_WORKER["n"], _WORKER["tile"])
+        _WORKER["scratch"] = TileScratch(_WORKER["tile"])
+
+
+def teardown_sweep_worker() -> None:
+    """Drop per-sweep worker state (the dispatcher's ``finally`` duty).
+
+    Clears the colmasks, the derived oracle functions and the tile
+    scratch, and closes cached shared-memory attachments, so none of it
+    outlives the sweep.  The token-cached static payload is kept — that
+    persistence is what lets the next install ship only a delta."""
+    close_worker_attachments()
     _WORKER.clear()
-    _WORKER.update(payload)
-    if payload["engine"] == "tiled":
-        _WORKER["grid"] = tile_grid(payload["n"], payload["tile"])
-        _WORKER["scratch"] = TileScratch(payload["tile"])
 
 
 def _run_tile_strip(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
@@ -116,6 +298,21 @@ def _run_pair_range(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
     return np.concatenate(us), np.concatenate(vs)
 
 
+def run_tile_strip_shm(task) -> int:
+    """Worker task: tile strip swept into a shared COO slice; returns
+    the hit count (negated on reservation overflow)."""
+    (start, stop), spec = task
+    u, v = _run_tile_strip((start, stop))
+    return write_strip_hits(u, v, spec)
+
+
+def run_pair_range_shm(task) -> int:
+    """Worker task: pair range swept into a shared COO slice."""
+    (start, stop), spec = task
+    u, v = _run_pair_range((start, stop))
+    return write_strip_hits(u, v, spec)
+
+
 def _init_block_worker(payload: dict) -> None:
     _WORKER.clear()
     _WORKER.update(payload)
@@ -128,6 +325,24 @@ def _run_block_strip(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
     return block_hits_strip(_WORKER["block_fn"], _WORKER["grid"][start:stop])
 
 
+def sweep_strip_tasks(
+    n: int, engine: str, tile: int | None, executor: Executor
+) -> tuple[list[tuple[int, int]], np.ndarray]:
+    """Partition the sweep domain for an executor: ``(start, stop)``
+    strip tasks in canonical order plus each strip's pair weight (the
+    shm gather sizes slot reservations from the weights)."""
+    n_tasks = max(1, executor.n_workers) * TASKS_PER_WORKER
+    if engine == "tiled":
+        blocks = [b for b in partition_tiles(n, tile, n_tasks) if len(b)]
+        tasks = [(b.start, b.stop) for b in blocks]
+        weights = np.array([b.n_pairs for b in blocks], dtype=np.int64)
+    else:
+        ranges = [r for r in partition_pairs(n, n_tasks) if len(r)]
+        tasks = [(r.start, r.stop) for r in ranges]
+        weights = np.array([len(r) for r in ranges], dtype=np.int64)
+    return tasks, weights
+
+
 def conflict_sweep_chunks(
     n: int,
     edge_mask_fn,
@@ -138,6 +353,8 @@ def conflict_sweep_chunks(
     tile_bytes: int = DEFAULT_TILE_BYTES,
     tile: int | None = None,
     executor: Executor | None = None,
+    source=None,
+    active_idx: np.ndarray | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Executor-routed conflict sweep: yield ``(i, j)`` edge chunks.
 
@@ -148,10 +365,17 @@ def conflict_sweep_chunks(
     short-circuits to the streaming in-process sweep — same kernels,
     same tile order, lowest memory.  A pool backend partitions the
     domain into contiguous strips (tile grid for ``"tiled"``, flat pair
-    ranges for ``"pairs"``), ships the payload once per worker, and
+    ranges for ``"pairs"``), installs the payload once per worker, and
     yields the per-strip results in strip order, which makes the
     concatenated hit stream — and therefore the assembled CSR —
     bit-identical to the serial sweep's.
+
+    ``source``/``active_idx`` (optional) enable the persistent-pool
+    delta payload: the root ``source`` is installed once under a token,
+    later sweeps ship only colmasks + active indices, and each worker
+    derives ``source.subset(active_idx)`` locally.  Per-sweep worker
+    state is cleared in a ``finally`` whether the sweep completes or
+    aborts.
     """
     if engine not in ("tiled", "pairs"):
         raise ValueError(f"unknown engine {engine!r}")
@@ -163,27 +387,114 @@ def conflict_sweep_chunks(
             tile_bytes=tile_bytes, tile=tile,
         )
         return
-    n_tasks = max(1, executor.n_workers) * TASKS_PER_WORKER
-    if engine == "tiled":
-        blocks = partition_tiles(n, tile, n_tasks)
-        tasks = [(b.start, b.stop) for b in blocks if len(b)]
-        task_fn = _run_tile_strip
-    else:
-        ranges = partition_pairs(n, n_tasks)
-        tasks = [(r.start, r.stop) for r in ranges if len(r)]
-        task_fn = _run_pair_range
-    payload = {
-        "n": n,
-        "engine": engine,
-        "tile": tile,
-        "chunk_size": chunk_size,
-        "colmasks": colmasks,
-        "edge_mask_fn": edge_mask_fn,
-        "edge_block_fn": edge_block_fn,
-    }
-    yield from executor.imap(
-        task_fn, tasks, initializer=_init_sweep_worker, payload=(payload,)
+    tasks, _ = sweep_strip_tasks(n, engine, tile, executor)
+    task_fn = _run_tile_strip if engine == "tiled" else _run_pair_range
+    payload_args = dict(
+        n=n, engine=engine, tile=tile, chunk_size=chunk_size,
+        colmasks=colmasks, edge_mask_fn=edge_mask_fn,
+        edge_block_fn=edge_block_fn,
+        source=source, active_idx=active_idx, executor=executor,
     )
+    try:
+        yield from imap_sweep(executor, task_fn, tasks, payload_args)
+    finally:
+        executor.finalize(teardown_sweep_worker)
+
+
+@contextmanager
+def conflict_hit_chunks(
+    n: int,
+    edge_mask_fn,
+    colmasks: np.ndarray,
+    chunk_size: int = 1 << 18,
+    engine: str = "tiled",
+    edge_block_fn: EdgeBlockFn | None = None,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
+    tile: int | None = None,
+    executor: Executor | None = None,
+    shm: bool = False,
+    est_conflict_edges: float | None = None,
+    source=None,
+    active_idx: np.ndarray | None = None,
+    region_cb=None,
+):
+    """One gather-policy seam for every conflict build.
+
+    Yields an iterable of ``(i, j)`` hit chunks in canonical strip
+    order, resolved through the shared-memory gather when ``shm`` is on
+    and the backend is a worker pool, and through the pickled stream
+    otherwise (``shm`` is meaningless for in-process sweeps — nothing
+    crosses a pipe — so serial backends always take the plain path).
+    Keeping the policy here, not in each caller, is what guarantees the
+    host build, the device build and :func:`parallel_conflict_graph`
+    can never diverge on it.  Shm-backed chunks are views into the
+    shared region and are only valid inside the ``with`` block.
+    """
+    # Validate up front so both gather paths reject bad input
+    # identically (the pickled path would raise inside the sweep; the
+    # shm partitioner would silently treat unknown engines as "pairs").
+    if engine not in ("tiled", "pairs"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if shm and executor is not None and not isinstance(executor, SerialExecutor):
+        with shm_conflict_gather(
+            n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+            tile_bytes=tile_bytes, tile=tile, executor=executor,
+            est_conflict_edges=est_conflict_edges,
+            source=source, active_idx=active_idx, region_cb=region_cb,
+        ) as gather:
+            yield gather.chunks
+        return
+    stream = conflict_sweep_chunks(
+        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+        tile_bytes=tile_bytes, tile=tile, executor=executor,
+        source=source, active_idx=active_idx,
+    )
+    try:
+        yield stream
+    finally:
+        # Close explicitly: a consumer that aborts mid-stream (device
+        # COO overflow) unwinds the executor's stream now instead of at
+        # garbage collection.
+        stream.close()
+
+
+def gathered_conflict_csr(
+    n: int,
+    edge_mask_fn,
+    colmasks: np.ndarray,
+    chunk_size: int = 1 << 18,
+    engine: str = "tiled",
+    edge_block_fn: EdgeBlockFn | None = None,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
+    executor: Executor | None = None,
+    shm: bool = False,
+    est_conflict_edges: float | None = None,
+    source=None,
+    active_idx: np.ndarray | None = None,
+) -> tuple[CSRGraph, int]:
+    """Sweep-and-assemble: the shared back half of every host conflict
+    build.  Runs one sweep through :func:`conflict_hit_chunks` and
+    folds the hit stream into the two-pass CSR assembly, returning
+    ``(graph, n_conflict_edges)``.
+
+    Centralized because the shm view-lifetime protocol is subtle: the
+    chunk references must be dropped *before* the gather context closes
+    the shared region, or the unmap sees live buffer exports.  One copy
+    of that dance, not one per caller.
+    """
+    with conflict_hit_chunks(
+        n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+        tile_bytes=tile_bytes, executor=executor, shm=shm,
+        est_conflict_edges=est_conflict_edges,
+        source=source, active_idx=active_idx,
+    ) as hit_stream:
+        try:
+            chunks = [(u, v) for u, v in hit_stream if len(u)]
+            m = sum(len(u) for u, _ in chunks)
+            graph = csr_from_coo_chunks(chunks, n)
+        finally:
+            chunks = None
+    return graph, m
 
 
 def block_sweep_chunks(
@@ -202,9 +513,13 @@ def block_sweep_chunks(
     blocks = partition_tiles(n, tile, n_tasks)
     tasks = [(b.start, b.stop) for b in blocks if len(b)]
     payload = {"n": n, "tile": tile, "block_fn": block_fn}
-    yield from executor.imap(
-        _run_block_strip, tasks, initializer=_init_block_worker, payload=(payload,)
-    )
+    try:
+        yield from executor.imap(
+            _run_block_strip, tasks, initializer=_init_block_worker,
+            payload=(payload,),
+        )
+    finally:
+        executor.finalize(teardown_sweep_worker)
 
 
 def parallel_conflict_graph(
@@ -216,6 +531,7 @@ def parallel_conflict_graph(
     engine: str = "tiled",
     tile_bytes: int = DEFAULT_TILE_BYTES,
     executor: Executor | None = None,
+    shm: bool = False,
 ) -> tuple[CSRGraph, int]:
     """Build the conflict graph over a Pauli set with worker processes.
 
@@ -241,7 +557,12 @@ def parallel_conflict_graph(
         ``"tiled"`` block-broadcast sweep (default) or ``"pairs"`` flat
         gather chunks.
     executor:
-        Explicit backend; overrides ``n_workers``.
+        Explicit backend; overrides ``n_workers``.  A spec-created
+        backend is closed before returning; a passed instance is left
+        open for its owner.
+    shm:
+        Gather hits through a shared-memory COO region instead of the
+        result pipe (:mod:`repro.parallel.shm`).
 
     Returns
     -------
@@ -254,21 +575,15 @@ def parallel_conflict_graph(
     else:
         edge_mask_fn = oracle.commute_edges
         edge_block_fn = oracle.commute_block
-    if executor is None:
-        executor = make_executor("auto", n_workers)
-    chunks: list[tuple[np.ndarray, np.ndarray]] = []
-    m = 0
-    for u, v in conflict_sweep_chunks(
-        pauli_set.n,
-        edge_mask_fn,
-        colmasks,
-        chunk_size=chunk_size,
-        engine=engine,
-        edge_block_fn=edge_block_fn,
-        tile_bytes=tile_bytes,
-        executor=executor,
-    ):
-        if len(u):
-            chunks.append((u, v))
-            m += len(u)
-    return csr_from_coo_chunks(chunks, pauli_set.n), m
+    with owned_executor(executor if executor is not None else "auto", n_workers) as ex:
+        return gathered_conflict_csr(
+            pauli_set.n,
+            edge_mask_fn,
+            colmasks,
+            chunk_size=chunk_size,
+            engine=engine,
+            edge_block_fn=edge_block_fn,
+            tile_bytes=tile_bytes,
+            executor=ex,
+            shm=shm,
+        )

@@ -20,6 +20,16 @@ def num_pairs(n: int) -> int:
     return n * (n - 1) // 2
 
 
+#: Largest ``n`` for which the analytic float64 inverse is exact: the
+#: discriminant ``(n - 0.5)^2 - 2k`` mixes quantities up to ``~n^2``,
+#: and float64 holds integers (and the 0.25 fraction) exactly only
+#: below ``2^52``-ish — so ``n <= 2^26`` keeps ``n^2 <= 2^52`` and the
+#: subtraction exact.  Beyond that, pair indices silently lose low bits
+#: in the float conversion, so the mapping routes to an exact integer
+#: bisection instead.
+_ANALYTIC_MAX_N = 1 << 26
+
+
 #: Cache of row-offset tables keyed by ``n`` (tiny LRU: the driver and
 #: the multiprocessing workers each hammer one or two values of ``n``).
 _ROW_OFFSET_CACHE: dict[int, np.ndarray] = {}
@@ -42,6 +52,29 @@ def _row_offsets(n: int) -> np.ndarray:
     return cached
 
 
+def _rows_by_bisect(k: np.ndarray, n: int) -> np.ndarray:
+    """Exact row lookup ``i = max{i : offset(i) <= k}`` in pure int64.
+
+    Vectorized binary search over the *analytic* offset formula — no
+    ``O(n)`` offset table (the searchsorted fallback would need one,
+    which at the scales that route here would be gigabytes).  All
+    arithmetic stays in int64: ``offset(i) = i*(2n - i - 1)/2`` peaks
+    at ``~2 * num_pairs(n)``, which the caller has bounded below
+    ``2^63``.
+    """
+    lo = np.zeros(len(k), dtype=np.int64)
+    hi = np.full(len(k), max(n - 2, 0), dtype=np.int64)
+    while True:
+        active = lo < hi
+        if not active.any():
+            return lo
+        mid = (lo + hi + 1) >> 1
+        off = (mid * (2 * n - mid - 1)) >> 1
+        go_up = off <= k
+        lo = np.where(active & go_up, mid, lo)
+        hi = np.where(active & ~go_up, mid - 1, hi)
+
+
 def pair_index_to_ij(k: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
     """Map flat unordered-pair indices to ``(i, j)`` with ``i < j``.
 
@@ -50,6 +83,13 @@ def pair_index_to_ij(k: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
     ``offset(i) <= k < offset(i+1)`` where
     ``offset(i) = i*n - i*(i+1)/2``; solving the quadratic gives a
     closed-form inverse, fixed up for floating-point edge error.
+
+    The closed form runs through float64, whose 53-bit mantissa cannot
+    hold pair indices once ``n`` exceeds :data:`_ANALYTIC_MAX_N`
+    (``2^26`` — pair space ``~2^51``); those sizes route to an exact
+    int64 bisection of the offset formula instead of silently losing
+    low bits.  Pair spaces at or beyond ``2^62`` (where even the int64
+    intermediates of the bisection would wrap) raise ``OverflowError``.
 
     Parameters
     ----------
@@ -64,8 +104,20 @@ def pair_index_to_ij(k: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
         ``int64`` arrays with ``0 <= i < j < n``.
     """
     k = np.asarray(k, dtype=np.int64)
-    if k.size and (k.min() < 0 or k.max() >= num_pairs(n)):
+    total = num_pairs(n)
+    if total >= 1 << 62:
+        raise OverflowError(
+            f"pair space of n={n} items ({total} pairs) exceeds the exact "
+            "int64 range of the row bisection (2^62)"
+        )
+    if k.size and (k.min() < 0 or k.max() >= total):
         raise ValueError("pair index out of range")
+    if n > _ANALYTIC_MAX_N:
+        # Overflow guard: float64 would silently truncate k and the
+        # discriminant at this scale — take the exact integer path.
+        i = _rows_by_bisect(k, n)
+        off = i * n - (i * (i + 1)) // 2
+        return i, k - off + i + 1
     nf = float(n)
     # Analytic fast path: i = floor(n - 1/2 - sqrt((n - 1/2)^2 - 2k)).
     disc = (nf - 0.5) ** 2 - 2.0 * k.astype(np.float64)

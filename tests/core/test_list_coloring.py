@@ -3,7 +3,7 @@ list-coloring variants."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.list_coloring import (
@@ -129,7 +129,10 @@ class TestBitsetMatchesSetsReference:
         lists = np.stack(
             [rng.choice(P, size=L, replace=False) for _ in range(n)]
         ).astype(np.int64)
-        assert int(lists.max()) >= 64  # multi-word with high probability
+        # Multi-word with high probability; the rare draw where every
+        # chosen color lands in word 0 proves nothing about multi-word
+        # bitsets, so skip it rather than fail on the test data itself.
+        assume(int(lists.max()) >= 64)
         self.assert_equivalent(gc, lists, seed)
 
     @pytest.mark.parametrize("n", [0, 1, 2])

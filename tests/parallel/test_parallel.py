@@ -134,6 +134,17 @@ class TestBackendEquivalence:
         _assert_bit_identical(got, ref)
         _assert_bit_identical(got, pairs)
 
+    @pytest.mark.parametrize("n_workers", _WORKER_COUNTS)
+    def test_shm_gather_bit_identical(self, n_workers):
+        """ISSUE 3 acceptance: the shared-memory gather reproduces the
+        pickled gather bit for bit at every pool size."""
+        ps = random_pauli_set(120, 7, seed=5)
+        _, masks = assign_color_lists(120, 18, 5, rng=3)
+        ref, m_ref = self._build(ps, masks)
+        got, m_got = self._build(ps, masks, n_workers=n_workers, shm=True)
+        assert m_got == m_ref
+        _assert_bit_identical(got, ref)
+
     @given(st.integers(min_value=0, max_value=2**31 - 1))
     @settings(max_examples=8, deadline=None)
     def test_property_backends_agree_per_seed(self, seed):

@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.util.chunking import iter_pair_chunks, num_pairs, pair_index_to_ij
+from repro.util.chunking import (
+    _ANALYTIC_MAX_N,
+    _rows_by_bisect,
+    iter_pair_chunks,
+    num_pairs,
+    pair_index_to_ij,
+)
 
 
 class TestNumPairs:
@@ -64,6 +70,50 @@ class TestPairIndexToIJ:
         # Invert: k == offset(i) + (j - i - 1)
         off = i * n - i * (i + 1) // 2
         np.testing.assert_array_equal(off + j - i - 1, k)
+
+    def test_bisect_matches_analytic_in_range(self):
+        rng = np.random.default_rng(7)
+        for n in (2, 3, 17, 1_000, 100_003):
+            total = num_pairs(n)
+            k = rng.integers(0, total, size=min(total, 300))
+            i_analytic, _ = pair_index_to_ij(k, n)
+            np.testing.assert_array_equal(_rows_by_bisect(k, n), i_analytic)
+
+    def test_float64_boundary_regression(self):
+        """ISSUE 3: pair indices above 2**53 used to lose low bits in
+        the float64 discriminant.  Above the analytic bound the mapping
+        routes to the exact integer bisection; adjacent indices around
+        2**53 must invert to distinct, correct pairs."""
+        n = 1 << 28  # pair space ~2**55, well past float64 exactness
+        total = num_pairs(n)
+        assert total > 2**53
+        k = np.array(
+            [0, 1, 2**53 - 1, 2**53, 2**53 + 1, total - 2, total - 1],
+            dtype=np.int64,
+        )
+        # The float conversion really is lossy here (the bug this
+        # guards against): 2**53 and 2**53 + 1 collide as float64.
+        assert float(np.int64(2**53)) == float(np.int64(2**53 + 1))
+        i, j = pair_index_to_ij(k, n)
+        off = i * n - i * (i + 1) // 2
+        np.testing.assert_array_equal(off + j - i - 1, k)
+        assert ((0 <= i) & (i < j) & (j < n)).all()
+        # All seven flat indices are distinct, so all pairs must be.
+        assert len({(a, b) for a, b in zip(i.tolist(), j.tolist())}) == len(k)
+
+    def test_routing_threshold_consistency(self):
+        """Either side of the analytic bound agrees on the inverse
+        (same formula, different arithmetic)."""
+        for n in (_ANALYTIC_MAX_N, _ANALYTIC_MAX_N + 1):
+            total = num_pairs(n)
+            k = np.array([0, total // 3, total - 1], dtype=np.int64)
+            i, j = pair_index_to_ij(k, n)
+            off = i * n - i * (i + 1) // 2
+            np.testing.assert_array_equal(off + j - i - 1, k)
+
+    def test_pair_space_overflow_raises(self):
+        with pytest.raises(OverflowError, match="2\\^62"):
+            pair_index_to_ij(np.array([0]), 1 << 32)
 
 
 class TestIterPairChunks:
