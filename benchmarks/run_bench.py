@@ -1,30 +1,48 @@
-"""Perf-trajectory entry point: engines, backends, and gather paths.
+"""Perf-trajectory entry point: engines, backends, gathers and coloring.
 
-Runs ``Picasso.color`` end to end on random Pauli sets with both pair
-sweep engines (``tiled`` = block-broadcast kernels + bitset Algorithm 2,
-``pairs`` = the legacy gather kernels + Python-set Algorithm 2) and,
-for the tiled engine, three execution configurations: the serial
-backend, a ``--workers``-sized *persistent* process pool with the
-default pickled result gather, and the same pool with the zero-copy
-shared-memory gather (``shm_gather=True`` — workers write hits into a
-Lemma 2-sized shared COO region; only hit counts cross the result
-pipe).  All runs must produce identical colorings (every backend and
-gather builds bit-identical conflict CSR per seed); elapsed seconds per
-phase land in ``BENCH_PR3.json`` at the repo root.  The JSON files form
-the performance trajectory: each PR appends ``BENCH_PR<N>.json`` so
-regressions are visible in review.
+Runs ``Picasso.color`` end to end on random Pauli sets across the axes
+grown so far:
+
+- **pair-sweep engine** — ``tiled`` block-broadcast kernels vs the
+  legacy ``pairs`` gather kernels;
+- **execution backend / gather** — serial, a ``--workers``-sized
+  persistent pool with the pickled result gather, and the same pool
+  with the zero-copy shared-memory gather;
+- **coloring engine** (new) — the serial bitset Algorithm 2
+  (``greedy-dynamic``) vs the round-synchronous ``parallel-list``
+  engine (``--color-engine`` picks any registry engine for these rows),
+  both as ``color_serial`` (in-process rounds) and ``color_pool``
+  (rounds dispatched over the worker pool, sweep *and* color sharing
+  one persistent pool via channelled payload tokens).
+
+Each case records a per-phase breakdown (assign / conflict build /
+conflict color wall-time) for the serial and parallel coloring engines
+plus the measured **serial-fraction reduction**: after PRs 1–3
+parallelized the build, Algorithm 2 was the dominant serial fraction of
+an iteration; the breakdown shows how much of it the parallel engine
+removes.  Backend identity is asserted per engine — every backend and
+gather builds bit-identical conflict CSR, and the round-synchronous
+coloring is partition-independent, so colorings must match exactly for
+a given seed *within* an engine.  Across engines the group count may
+differ (lowest-bit speculative picks trade a few percent of quality for
+round-parallelism); the delta is recorded, not hidden.
+
+Elapsed seconds land in ``BENCH_PR4.json`` at the repo root; the JSON
+files form the performance trajectory (``BENCH_PR1..3.json`` hold the
+earlier axes), so regressions are visible in review.
 
 The parallel rows record ``host_cpu_count``; on hosts with fewer cores
 than ``--workers`` the speedup is bounded by the core count (a
-single-core box demonstrates bit-identical correctness plus the
-shm-vs-pickle communication delta, not parallel speedup) and the
-report says so explicitly.
+single-core box demonstrates bit-identical correctness plus
+dispatch/communication deltas, not parallel speedup) and the report
+says so explicitly.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py               # incl. 10k headline
     PYTHONPATH=src python benchmarks/run_bench.py --workers 4
     PYTHONPATH=src python benchmarks/run_bench.py --quick       # small sizes only
+    PYTHONPATH=src python benchmarks/run_bench.py --color-engine sets
 """
 
 from __future__ import annotations
@@ -38,14 +56,15 @@ import time
 
 import numpy as np
 
+from repro.coloring.engine import available_engines
 from repro.core import Picasso, PicassoParams
 from repro.pauli import random_pauli_set
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_PR3.json"
+OUT_PATH = REPO_ROOT / "BENCH_PR4.json"
 #: --quick writes here instead, so a CI smoke run can never clobber
 #: the committed full-size trajectory file.
-QUICK_OUT_PATH = REPO_ROOT / "BENCH_PR3.quick.json"
+QUICK_OUT_PATH = REPO_ROOT / "BENCH_PR4.quick.json"
 
 #: (name, n strings, n qubits) — the last row is the acceptance
 #: headline: 10k strings over 50 qubits.
@@ -76,8 +95,21 @@ def run_config(pauli_set, params: PicassoParams, seed: int, repeats: int = 2) ->
         "conflict_color_s": round(phases["conflict_coloring"], 4),
         "n_colors": int(result.n_colors),
         "n_iterations": result.n_iterations,
+        "color_engine": result.engine,
+        "color_rounds": int(result.stats.get("color_rounds", 0)),
         "max_conflict_edges": int(result.max_conflict_edges),
         "colors": result.colors,
+    }
+
+
+def phase_breakdown(row: dict) -> dict:
+    """Build-vs-color wall-time split of one config row."""
+    total = max(row["total_s"], 1e-9)
+    return {
+        "build_s": row["conflict_build_s"],
+        "color_s": row["conflict_color_s"],
+        "build_fraction": round(row["conflict_build_s"] / total, 4),
+        "color_fraction": round(row["conflict_color_s"] / total, 4),
     }
 
 
@@ -94,8 +126,16 @@ def main(argv=None) -> int:
         type=int,
         default=4,
         metavar="N",
-        help="pool size for the tiled-parallel rows (default 4, the "
+        help="pool size for the parallel rows (default 4, the "
         "acceptance configuration)",
+    )
+    parser.add_argument(
+        "--color-engine",
+        default="parallel-list",
+        dest="color_engine",
+        choices=list(available_engines()),
+        help="registry engine for the parallel-coloring rows "
+        "(default parallel-list)",
     )
     args = parser.parse_args(argv)
 
@@ -103,10 +143,12 @@ def main(argv=None) -> int:
     cases = QUICK_CASES if args.quick else CASES
     report = {
         "benchmark": (
-            "execution backends: tiled serial vs persistent pool "
-            "(pickled vs shm gather) vs gather engine"
+            "coloring engines on the execution substrate: greedy-dynamic "
+            f"vs {args.color_engine} (serial and pooled rounds), plus the "
+            "PR 1-3 backend/gather axes"
         ),
         "n_workers": args.workers,
+        "color_engine": args.color_engine,
         "host_cpu_count": cpu_count,
         "cases": [],
     }
@@ -115,12 +157,14 @@ def main(argv=None) -> int:
             f"host exposes {cpu_count} core(s) < {args.workers} workers: "
             "parallel rows are bounded by the core count and mainly "
             "demonstrate bit-identical correctness plus dispatch/gather "
-            "overhead (the shm-vs-pickle delta is still meaningful — it "
-            "measures communication, not compute); re-run on a "
+            "overhead; the color-phase rows still measure the vectorized "
+            "round-synchronous engine against the per-vertex greedy loop "
+            "(an algorithmic, not core-count, effect); re-run on a "
             "multi-core host for the throughput numbers"
         )
     for name, n, nq in cases:
         pauli_set = random_pauli_set(n, nq, seed=0)
+        # PR 1-3 axes (greedy-dynamic coloring throughout).
         tiled = run_config(pauli_set, PicassoParams(engine="tiled"), args.seed)
         tiled_par = run_config(
             pauli_set,
@@ -135,22 +179,63 @@ def main(argv=None) -> int:
             args.seed,
         )
         gather = run_config(pauli_set, PicassoParams(engine="pairs"), args.seed)
+        # PR 4 axis: the selected coloring engine, rounds in-process vs
+        # dispatched over the shared persistent pool (with shm gather —
+        # the full parallel iterate: sweep and color on one pool).
+        color_serial = run_config(
+            pauli_set,
+            PicassoParams(engine="tiled", color_engine=args.color_engine),
+            args.seed,
+        )
+        color_pool = run_config(
+            pauli_set,
+            PicassoParams(
+                engine="tiled",
+                color_engine=args.color_engine,
+                n_workers=args.workers,
+                shm_gather=True,
+            ),
+            args.seed,
+        )
         identical = bool(
             np.array_equal(tiled["colors"], gather["colors"])
             and np.array_equal(tiled["colors"], tiled_par["colors"])
             and np.array_equal(tiled["colors"], tiled_shm["colors"])
         )
-        for row in (tiled, tiled_par, tiled_shm, gather):
+        # Within the coloring engine, serial and pooled rounds must be
+        # bit-identical (round-synchronous rounds are partition-
+        # independent) — the "same number of groups +-0" contract of
+        # the engine across backends.
+        identical_color = bool(
+            np.array_equal(color_serial["colors"], color_pool["colors"])
+        )
+        same_n_groups = bool(
+            color_serial["n_colors"] == color_pool["n_colors"]
+        )
+        for row in (tiled, tiled_par, tiled_shm, gather, color_serial, color_pool):
             row.pop("colors")
         engine_speedup = gather["total_s"] / max(tiled["total_s"], 1e-9)
         workers_build_speedup = tiled["conflict_build_s"] / max(
             tiled_par["conflict_build_s"], 1e-9
         )
-        workers_total_speedup = tiled["total_s"] / max(tiled_par["total_s"], 1e-9)
-        # The ISSUE 3 headline: pickled result pipe vs zero-copy shared
-        # region, same pool size, same kernels.
         shm_gather_build_speedup = tiled_par["conflict_build_s"] / max(
             tiled_shm["conflict_build_s"], 1e-9
+        )
+        # The ISSUE 4 headline: how much of the iteration's serial
+        # fraction the parallel coloring engine removes.
+        greedy_phases = phase_breakdown(tiled)
+        parallel_phases = phase_breakdown(color_serial)
+        color_speedup = tiled["conflict_color_s"] / max(
+            color_serial["conflict_color_s"], 1e-9
+        )
+        serial_fraction_reduction = round(
+            greedy_phases["color_fraction"] - parallel_phases["color_fraction"], 4
+        )
+        quality_delta_pct = round(
+            100.0
+            * (color_serial["n_colors"] - tiled["n_colors"])
+            / max(tiled["n_colors"], 1),
+            2,
         )
         row = {
             "name": name,
@@ -160,24 +245,37 @@ def main(argv=None) -> int:
             "tiled_parallel": tiled_par,
             "tiled_parallel_shm": tiled_shm,
             "gather": gather,
+            "color_serial": color_serial,
+            "color_pool": color_pool,
+            # Distinct keys: --color-engine greedy-dynamic is a valid
+            # choice and must not collapse the dict onto the baseline.
+            "phase_breakdown": {
+                "baseline_greedy_dynamic": greedy_phases,
+                f"color_{args.color_engine}": parallel_phases,
+            },
             "engine_speedup": round(engine_speedup, 2),
             "workers_build_speedup": round(workers_build_speedup, 2),
-            "workers_total_speedup": round(workers_total_speedup, 2),
             "shm_gather_build_speedup": round(shm_gather_build_speedup, 2),
+            "color_phase_speedup": round(color_speedup, 2),
+            "serial_fraction_reduction": serial_fraction_reduction,
+            "color_quality_delta_pct": quality_delta_pct,
             "identical_colorings": identical,
+            "identical_colorings_color_engine": identical_color,
+            "same_n_groups_across_backends": same_n_groups,
         }
         report["cases"].append(row)
         print(
             f"{name:<14} n={n:>6} tiled={tiled['total_s']:>8.2f}s "
-            f"tiled(x{args.workers}w)={tiled_par['total_s']:>8.2f}s "
-            f"shm(x{args.workers}w)={tiled_shm['total_s']:>8.2f}s "
-            f"gather={gather['total_s']:>8.2f}s "
-            f"engine={engine_speedup:.2f}x "
-            f"workers_build={workers_build_speedup:.2f}x "
-            f"shm_build={shm_gather_build_speedup:.2f}x "
-            f"identical={identical}"
+            f"{args.color_engine}={color_serial['total_s']:>8.2f}s "
+            f"color_phase {tiled['conflict_color_s']:.2f}s->"
+            f"{color_serial['conflict_color_s']:.2f}s "
+            f"({color_speedup:.2f}x, serial fraction "
+            f"{greedy_phases['color_fraction']:.2f}->"
+            f"{parallel_phases['color_fraction']:.2f}) "
+            f"quality {quality_delta_pct:+.1f}% "
+            f"identical={identical}/{identical_color}"
         )
-        if not identical:
+        if not identical or not identical_color or not same_n_groups:
             print("ERROR: backends diverged", file=sys.stderr)
             return 1
 

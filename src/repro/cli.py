@@ -64,6 +64,8 @@ def _make_params(args: argparse.Namespace):
         overrides["shm_gather"] = True
     if getattr(args, "pin", False):
         overrides["pin_workers"] = True
+    if getattr(args, "color_engine", None) is not None:
+        overrides["color_engine"] = args.color_engine
     return base.with_(**overrides)
 
 
@@ -221,6 +223,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--pin", action="store_true",
         help="pin each pool worker to one core (sched_setaffinity; "
         "no-op where unsupported)",
+    )
+    from repro.coloring.engine import available_engines
+
+    p.add_argument(
+        "--color-engine", default=None, dest="color_engine",
+        choices=["auto", *available_engines()],
+        help="Algorithm 2 implementation for the conflict coloring "
+        "(registry name; default auto pairs greedy-dynamic with the "
+        "tiled engine and sets with pairs; parallel-list runs "
+        "round-synchronous rounds on the worker pool)",
     )
     p.add_argument("--validate", action="store_true")
     p.add_argument("--output", "-o", default=None, help="write per-vertex colors")

@@ -6,6 +6,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+# Canonical home is util.bits (one primitive shared with the bitset
+# list-coloring engines); re-exported here for the historical import path.
+from repro.util.bits import smallest_available_color
+
+__all__ = ["ColoringResult", "smallest_available_color"]
+
 
 @dataclass
 class ColoringResult:
@@ -21,6 +27,13 @@ class ColoringResult:
     peak_bytes:
         Analytic peak of graph + auxiliary structures (Table IV
         accounting).  Zero when not tracked.
+    engine:
+        Which engine produced the coloring (registry name for list
+        coloring, algorithm family otherwise) — uniform provenance so
+        Table IV memory benches compare like-for-like.
+    n_rounds:
+        Synchronous rounds (parallel schemes) or passes; 1 for
+        single-sweep sequential algorithms.
     stats:
         Free-form per-algorithm counters (rounds, conflicts, ...).
     """
@@ -30,6 +43,8 @@ class ColoringResult:
     peak_bytes: int = 0
     elapsed_s: float = 0.0
     stats: dict = field(default_factory=dict)
+    engine: str = ""
+    n_rounds: int = 1
 
     @property
     def n_colors(self) -> int:
@@ -55,21 +70,3 @@ class ColoringResult:
         sorted_colors = self.colors[order]
         boundaries = np.nonzero(np.diff(sorted_colors))[0] + 1
         return np.split(order, boundaries)
-
-
-def smallest_available_color(forbidden: np.ndarray) -> int:
-    """Smallest non-negative integer not present in ``forbidden``.
-
-    ``forbidden`` may contain -1 entries (uncolored neighbors); they are
-    ignored.  Vectorized: a boolean presence table of size
-    ``len(forbidden) + 1`` suffices because the answer is at most the
-    number of forbidden colors.
-    """
-    valid = forbidden[forbidden >= 0]
-    if valid.size == 0:
-        return 0
-    limit = valid.size + 1
-    present = np.zeros(limit + 1, dtype=bool)
-    small = valid[valid <= limit]
-    present[small] = True
-    return int(np.nonzero(~present)[0][0])

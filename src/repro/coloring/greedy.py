@@ -53,6 +53,8 @@ def greedy_coloring(
         algorithm=f"greedy-{order.upper()}",
         peak_bytes=int(peak),
         elapsed_s=elapsed,
+        engine="greedy",
+        n_rounds=1,
     )
 
 

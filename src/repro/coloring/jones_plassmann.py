@@ -41,7 +41,7 @@ def jones_plassmann_ldf(
     t0 = time.perf_counter()
     colors = np.full(n, -1, dtype=np.int64)
     if n == 0:
-        return ColoringResult(colors, "jp-ldf")
+        return ColoringResult(colors, "jp-ldf", engine="jp", n_rounds=0)
     # LDF priority: degree first, random tie-break. Encode as a single
     # float key: degree + U(0,1).
     priority = graph.degree().astype(np.float64) + rng.random(n)
@@ -87,5 +87,7 @@ def jones_plassmann_ldf(
         algorithm="jp-ldf",
         peak_bytes=int(peak),
         elapsed_s=elapsed,
+        engine="jp",
+        n_rounds=rounds,
         stats={"rounds": rounds},
     )

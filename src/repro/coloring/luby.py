@@ -83,5 +83,7 @@ def luby_coloring(
         algorithm="luby-mis",
         peak_bytes=int(peak),
         elapsed_s=elapsed,
+        engine="luby",
+        n_rounds=color,
         stats={"rounds": color},
     )

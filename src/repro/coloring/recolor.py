@@ -86,5 +86,7 @@ def iterated_greedy(
         algorithm=f"{initial.algorithm}+ig",
         peak_bytes=initial.peak_bytes,
         elapsed_s=initial.elapsed_s + elapsed,
+        engine=initial.engine or "greedy",
+        n_rounds=rounds,
         stats={**initial.stats, "ig_rounds": rounds, "ig_final": best},
     )

@@ -41,7 +41,9 @@ def speculative_coloring(
     t0 = time.perf_counter()
     colors = np.full(n, -1, dtype=np.int64)
     if n == 0:
-        return ColoringResult(colors, "speculative-eb")
+        return ColoringResult(
+            colors, "speculative-eb", engine="speculative-eb", n_rounds=0
+        )
     if max_rounds is None:
         max_rounds = n + 1
 
@@ -94,5 +96,7 @@ def speculative_coloring(
         algorithm="speculative-eb",
         peak_bytes=int(peak),
         elapsed_s=elapsed,
+        engine="speculative-eb",
+        n_rounds=rounds,
         stats={"rounds": rounds, "conflicts": total_conflicts},
     )

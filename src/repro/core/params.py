@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+from repro.coloring.engine import available_engines
+
 
 @dataclass(frozen=True)
 class PicassoParams:
@@ -71,6 +73,21 @@ class PicassoParams:
         Pin each pool worker to one core via ``os.sched_setaffinity``
         so its tile scratch stays NUMA-local; silently ignored on
         platforms without the call.
+    color_engine:
+        Which Algorithm 2 implementation colors the conflict graph
+        (:mod:`repro.coloring.engine` registry).  ``"auto"`` (default)
+        keeps the historical pairing — the bitset ``greedy-dynamic``
+        for the tiled engine, the ``sets`` reference for the pairs
+        ablation, ``greedy-static`` when ``conflict_order`` names a
+        static order.  ``"parallel-list"`` selects the
+        round-synchronous speculative engine, whose rounds dispatch
+        over the run's executor (sweep *and* color then share one
+        persistent pool); output is deterministic per seed for any
+        worker count.  An explicit engine name always wins over
+        ``conflict_order``.
+    color_max_rounds:
+        Safety valve for the round-synchronous engines (``None`` =
+        vertex count + 1, a true upper bound).
     """
 
     palette_fraction: float = 0.125
@@ -86,6 +103,8 @@ class PicassoParams:
     executor: str = "auto"
     shm_gather: bool = False
     pin_workers: bool = False
+    color_engine: str = "auto"
+    color_max_rounds: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.palette_fraction <= 1.0:
@@ -106,6 +125,13 @@ class PicassoParams:
             raise ValueError("n_workers must be >= 1")
         if self.executor not in ("auto", "serial", "pool"):
             raise ValueError(f"unknown executor {self.executor!r}")
+        if self.color_engine != "auto" and self.color_engine not in available_engines():
+            raise ValueError(
+                f"unknown color_engine {self.color_engine!r}; "
+                f"available: {('auto',) + available_engines()}"
+            )
+        if self.color_max_rounds is not None and self.color_max_rounds < 1:
+            raise ValueError("color_max_rounds must be >= 1 or None")
 
     def palette_size(self, n_active: int) -> int:
         """``P_l`` for the current subproblem size."""
@@ -117,6 +143,29 @@ class PicassoParams:
             return 1
         raw = max(1, round(self.alpha * math.log(n_active)))
         return min(raw, self.palette_size(n_active))
+
+    def resolved_color_engine(self) -> str:
+        """The registry name ``color_engine="auto"`` resolves to.
+
+        Preserves the historical pairing (bitset engine on ``tiled``,
+        set reference on ``pairs``, static engine under a static
+        ``conflict_order``); an explicit engine name passes through.
+        """
+        if self.color_engine != "auto":
+            return self.color_engine
+        if self.conflict_order != "dynamic":
+            return "greedy-static"
+        return "greedy-dynamic" if self.engine == "tiled" else "sets"
+
+    def color_engine_knobs(self) -> dict:
+        """Constructor knobs for the resolved engine."""
+        name = self.resolved_color_engine()
+        if name == "greedy-static":
+            order = self.conflict_order if self.conflict_order != "dynamic" else "natural"
+            return {"order": order}
+        if name == "parallel-list":
+            return {"max_rounds": self.color_max_rounds}
+        return {}
 
     def with_(self, **kwargs) -> "PicassoParams":
         """Functional update."""

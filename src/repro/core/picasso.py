@@ -19,13 +19,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.coloring.base import ColoringResult
+from repro.coloring.engine import get_engine
 from repro.core.analysis import expected_conflict_edges
 from repro.core.conflict import build_conflict_graph
-from repro.core.list_coloring import (
-    greedy_list_color_dynamic,
-    greedy_list_color_dynamic_sets,
-    greedy_list_color_static,
-)
 from repro.core.palette import assign_color_lists, lists_nbytes
 from repro.core.params import PicassoParams
 from repro.core.sources import ExplicitGraphSource, PauliComplementSource
@@ -56,6 +52,8 @@ class IterationStats:
     conflict_color_s: float
     peak_bytes: int
     built_on_device: bool | None = None
+    color_rounds: int = 1
+    color_peak_bytes: int = 0
 
 
 @dataclass
@@ -155,6 +153,13 @@ class Picasso:
     def _color_source_with(self, source, executor) -> PicassoResult:
         t_start = time.perf_counter()
         params = self.params
+        # One engine instance for the whole run, from the registry —
+        # the pluggable Algorithm 2 seam.  Parallel engines receive the
+        # run's persistent executor; payload tokens are channelled, so
+        # sweep and coloring installs coexist on one pool.
+        color_engine = get_engine(
+            params.resolved_color_engine(), **params.color_engine_knobs()
+        )
         n_total = source.n
         colors = np.full(n_total, -1, dtype=np.int64)
         active = np.arange(n_total, dtype=np.int64)
@@ -241,28 +246,19 @@ class Picasso:
             local_colors[unconflicted] = col_lists[unconflicted, 0]
 
             conflicted = np.nonzero(degrees > 0)[0]
+            color_rounds = 0
+            color_peak = 0
             if len(conflicted):
                 sub_gc, _ = induced_subgraph(gc, conflicted)
                 sub_lists = col_lists[conflicted]
-                if params.conflict_order == "dynamic":
-                    # Both Algorithm 2 implementations make identical
-                    # choices; the sets variant is kept on the "pairs"
-                    # engine so the ablation measures the legacy
-                    # pipeline end to end.
-                    color_dynamic = (
-                        greedy_list_color_dynamic
-                        if params.engine == "tiled"
-                        else greedy_list_color_dynamic_sets
-                    )
-                    sub_colors, sub_vu = color_dynamic(
-                        sub_gc, sub_lists, self.rng
-                    )
-                else:
-                    sub_colors, sub_vu = greedy_list_color_static(
-                        sub_gc, sub_lists, params.conflict_order, self.rng
-                    )
-                local_colors[conflicted] = sub_colors
-                vu_local = conflicted[sub_vu]
+                outcome = color_engine.color(
+                    sub_gc, sub_lists, self.rng,
+                    executor=executor, device=self.device,
+                )
+                color_rounds = outcome.n_rounds
+                color_peak = outcome.peak_bytes
+                local_colors[conflicted] = outcome.colors
+                vu_local = conflicted[outcome.uncolored]
             else:
                 vu_local = np.empty(0, dtype=np.int64)
             t_color = time.perf_counter() - t0
@@ -274,6 +270,10 @@ class Picasso:
             )
             base_color += palette
 
+            # Engine scratch is recorded per iteration (color_peak_bytes)
+            # but kept out of the Table IV peak metric, whose definition
+            # predates the engine layer — changing it would break the
+            # cross-PR memory trajectory.
             iter_peak = (
                 active_source.nbytes
                 + lists_nbytes(col_lists, colmasks)
@@ -296,6 +296,8 @@ class Picasso:
                     conflict_color_s=t_color,
                     peak_bytes=int(iter_peak),
                     built_on_device=built_on_device,
+                    color_rounds=color_rounds,
+                    color_peak_bytes=int(color_peak),
                 )
             )
 
@@ -321,7 +323,12 @@ class Picasso:
             algorithm="picasso",
             peak_bytes=int(peak_bytes),
             elapsed_s=elapsed,
-            stats={"total_palette_colors": base_color},
+            stats={
+                "total_palette_colors": base_color,
+                "color_rounds": sum(s.color_rounds for s in iterations),
+            },
+            engine=color_engine.name,
+            n_rounds=len(iterations),
             iterations=iterations,
         )
 

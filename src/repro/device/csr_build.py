@@ -18,6 +18,7 @@ as §V describes.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
 
 import numpy as np
@@ -135,77 +136,96 @@ def _algorithm3(
     workers = max(1, ex.n_workers)
     use_shm = shm and not isinstance(ex, SerialExecutor)
 
-    # Input residency: encoded strings + color lists live on device for
-    # the kernel (approximated by the colmask bytes; the Pauli payload
-    # is charged by the caller, which owns its lifetime).
-    device.alloc("colmasks", int(colmasks.nbytes))
+    # All build allocations go through DeviceSim.scratch on one
+    # ExitStack — the same named-allocation discipline the coloring
+    # engines use for their palette scratch — so every buffer is freed
+    # exactly once whether the build completes or aborts mid-stream.
+    with ExitStack() as allocs:
+        # Input residency: encoded strings + color lists live on device
+        # for the kernel (approximated by the colmask bytes; the Pauli
+        # payload is charged by the caller, which owns its lifetime).
+        allocs.enter_context(device.scratch("colmasks", int(colmasks.nbytes)))
 
-    # Degree counters: 4-byte if |V|^2 < 2^32 else 8-byte (§V).
-    counter_bytes = 4 if n * n < 2**32 else 8
-    device.alloc("edge_counters", 2 * n * counter_bytes)
-
-    # Tile scratch: reserved ahead of the COO buffer (which takes all
-    # remaining memory).  At most a quarter of what is left — split
-    # across workers, each of which owns a private scratch — so the COO
-    # stream keeps the lion's share; degrade to the pair engine when a
-    # minimum tile per worker would not fit.
-    tile = None
-    if engine == "tiled":
-        candidate = tile_edge(
-            colmasks.shape[1],
-            min(tile_bytes, device.available // 4 // workers),
-            n=n,
-        )
-        # The block edge oracle (dense-tile path) brings its own
-        # (R, C) temporaries on top of the TileScratch buffers — charge
-        # both, for every worker, so the simulated peak stays honest.
-        scratch = (
-            tile_scratch_bytes(candidate) * (2 if edge_block_fn else 1) * workers
-        )
-        if scratch <= device.available // 2:
-            device.alloc("tile_scratch", scratch)
-            tile = candidate
-        else:
-            engine = "pairs"
-
-    # Shm staging must be budgeted *before* the COO buffer takes all
-    # remaining memory, or the mandatory staging allocation would find
-    # 0 bytes available whenever the worst case reaches the budget.
-    staging_hint = 0
-    if use_shm:
-        from repro.parallel.pool import TASKS_PER_WORKER
-        from repro.parallel.shm import estimate_conflict_edges, staging_bytes_hint
-
-        if est_conflict_edges is None:
-            # Reused below for slot planning too — one mask pass, not two.
-            est_conflict_edges = estimate_conflict_edges(n, colmasks)
-        staging_hint = staging_bytes_hint(
-            n, est_conflict_edges, workers * TASKS_PER_WORKER
+        # Degree counters: 4-byte if |V|^2 < 2^32 else 8-byte (§V).
+        counter_bytes = 4 if n * n < 2**32 else 8
+        allocs.enter_context(
+            device.scratch("edge_counters", 2 * n * counter_bytes)
         )
 
-    # COO buffer: min(worst case, all remaining memory minus the shm
-    # staging reservation). Each COO entry is two vertex ids.
-    id_bytes = 4 if n < 2**31 else 8
-    worst_case_bytes = 2 * n * max(n - 1, 0) * id_bytes
-    coo_bytes = min(worst_case_bytes, max(device.available - staging_hint, 0))
-    device.alloc("coo_edges", coo_bytes)
-    capacity = coo_bytes // (2 * id_bytes)
+        # Tile scratch: reserved ahead of the COO buffer (which takes
+        # all remaining memory).  At most a quarter of what is left —
+        # split across workers, each of which owns a private scratch —
+        # so the COO stream keeps the lion's share; degrade to the pair
+        # engine when a minimum tile per worker would not fit.
+        tile = None
+        if engine == "tiled":
+            candidate = tile_edge(
+                colmasks.shape[1],
+                min(tile_bytes, device.available // 4 // workers),
+                n=n,
+            )
+            # The block edge oracle (dense-tile path) brings its own
+            # (R, C) temporaries on top of the TileScratch buffers —
+            # charge both, for every worker, so the simulated peak
+            # stays honest.
+            scratch = (
+                tile_scratch_bytes(candidate)
+                * (2 if edge_block_fn else 1)
+                * workers
+            )
+            if scratch <= device.available // 2:
+                allocs.enter_context(device.scratch("tile_scratch", scratch))
+                tile = candidate
+            else:
+                engine = "pairs"
 
-    # Shared-memory staging regions are device-charged as they appear
-    # (the initial region, plus a retry region on undershoot) — the
-    # pinned-host-staging analog of a real GPU gather.
-    shm_charges: list[str] = []
+        # Shm staging must be budgeted *before* the COO buffer takes
+        # all remaining memory, or the mandatory staging allocation
+        # would find 0 bytes available whenever the worst case reaches
+        # the budget.
+        staging_hint = 0
+        if use_shm:
+            from repro.parallel.pool import TASKS_PER_WORKER
+            from repro.parallel.shm import (
+                estimate_conflict_edges,
+                staging_bytes_hint,
+            )
 
-    def _charge_shm_region(nbytes: int) -> None:
-        name = f"shm_coo_{len(shm_charges)}"
-        device.alloc(name, nbytes)
-        shm_charges.append(name)
+            if est_conflict_edges is None:
+                # Reused below for slot planning too — one mask pass,
+                # not two.
+                est_conflict_edges = estimate_conflict_edges(n, colmasks)
+            staging_hint = staging_bytes_hint(
+                n, est_conflict_edges, workers * TASKS_PER_WORKER
+            )
 
-    id_dtype = np.int32 if id_bytes == 4 else np.int64
-    coo_u = np.empty(capacity, dtype=id_dtype)
-    coo_v = np.empty(capacity, dtype=id_dtype)
-    n_edges = 0
-    try:
+        # COO buffer: min(worst case, all remaining memory minus the
+        # shm staging reservation). Each COO entry is two vertex ids.
+        id_bytes = 4 if n < 2**31 else 8
+        worst_case_bytes = 2 * n * max(n - 1, 0) * id_bytes
+        coo_bytes = min(
+            worst_case_bytes, max(device.available - staging_hint, 0)
+        )
+        allocs.enter_context(device.scratch("coo_edges", coo_bytes))
+        capacity = coo_bytes // (2 * id_bytes)
+
+        # Shared-memory staging regions are device-charged as they
+        # appear (the initial region, plus a retry region on
+        # undershoot) — the pinned-host-staging analog of a real GPU
+        # gather.
+        shm_count = 0
+
+        def _charge_shm_region(nbytes: int) -> None:
+            nonlocal shm_count
+            allocs.enter_context(
+                device.scratch(f"shm_coo_{shm_count}", nbytes)
+            )
+            shm_count += 1
+
+        id_dtype = np.int32 if id_bytes == 4 else np.int64
+        coo_u = np.empty(capacity, dtype=id_dtype)
+        coo_v = np.empty(capacity, dtype=id_dtype)
+        n_edges = 0
         with conflict_hit_chunks(
             n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
             tile=tile, executor=ex, shm=shm,
@@ -250,14 +270,6 @@ def _algorithm3(
         graph = _assemble_csr(
             offsets, coo_u[:n_edges], coo_v[:n_edges], id_dtype
         )
-    finally:
-        for name in shm_charges:
-            device.free(name)
-        device.free("coo_edges")
-        if tile is not None:
-            device.free("tile_scratch")
-        device.free("edge_counters")
-        device.free("colmasks")
 
     stats = BuildStats(
         n_vertices=n,

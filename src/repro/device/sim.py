@@ -17,6 +17,7 @@ selection and the Fig. 2 feasibility line are faithful.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 #: Default simulated budget. The paper's A100 has 40 GB; our datasets
@@ -83,6 +84,21 @@ class DeviceSim:
         """Release everything (end of a kernel sequence)."""
         self._live.clear()
         self.used_bytes = 0
+
+    @contextmanager
+    def scratch(self, name: str, nbytes: int):
+        """Named allocation scoped to a ``with`` block.
+
+        The coloring engines charge their palette scratch (candidate /
+        forbidden bitsets, tentative picks) through this, so Algorithm 2
+        memory shows up in the device ledger exactly like the conflict
+        build's buffers do.
+        """
+        self.alloc(name, nbytes)
+        try:
+            yield self
+        finally:
+            self.free(name)
 
     @property
     def available(self) -> int:

@@ -48,6 +48,7 @@ __all__ = [
     "owned_executor",
     "default_start_method",
     "pin_current_worker",
+    "token_channel",
 ]
 
 #: Seconds a worker waits at the install barrier before declaring the
@@ -142,6 +143,24 @@ def _broadcast_task(arg) -> None:
         barrier.wait(BROADCAST_TIMEOUT_S)
 
 
+def token_channel(token):
+    """The namespace a payload token installs under.
+
+    Workers keep one token-cached static payload *per consumer module*
+    (the sweep cache in :mod:`repro.parallel.pool`, the palette cache
+    in :mod:`repro.coloring.parallel_list`), so the dispatcher must
+    track one installed token per such channel too — otherwise a run
+    that alternates sweep and coloring installs on one persistent pool
+    would evict each other's tokens and force full payloads every
+    iteration.  Convention: tuple tokens are namespaced by their first
+    element (``("sweep", ...)``, ``("color", ...)``); scalar tokens are
+    their own channel.
+    """
+    if isinstance(token, tuple) and token:
+        return token[0]
+    return token
+
+
 class Executor(ABC):
     """Submit/gather interface shared by all backends.
 
@@ -159,9 +178,31 @@ class Executor(ABC):
     #: in-process backend would just pin large arrays in the dispatcher).
     supports_payload_cache: bool = False
 
-    #: Token of the payload currently installed in the workers (None
-    #: when nothing is installed or the pool has been recycled).
-    _installed_token = None
+    def __init__(self) -> None:
+        #: Installed payload token per channel (see :func:`token_channel`);
+        #: empty when nothing is installed or the pool has been recycled.
+        self._tokens: dict = {}
+        self._last_token = None
+
+    @property
+    def _installed_token(self):
+        """Most recently installed payload token (diagnostics/tests)."""
+        return self._last_token
+
+    def _record_install(self, token) -> None:
+        if token is None:
+            # A tokenless initializer gives no contract about which
+            # worker-side caches it clobbered, so every channel's
+            # record is suspect — drop them all (the next tokened
+            # install per channel ships in full).
+            self._clear_tokens()
+            return
+        self._last_token = token
+        self._tokens[token_channel(token)] = token
+
+    def _clear_tokens(self) -> None:
+        self._tokens.clear()
+        self._last_token = None
 
     @abstractmethod
     def imap(
@@ -208,8 +249,13 @@ class Executor(ABC):
     def holds_token(self, token) -> bool:
         """True when the workers still hold the payload installed under
         ``token`` (same live pool, no recycle since) — the signal that a
-        delta payload suffices for the next install."""
-        return token is not None and token == self._installed_token
+        delta payload suffices for the next install.  Tokens are tracked
+        per channel, so sweep and coloring payloads on one executor do
+        not evict each other."""
+        return (
+            token is not None
+            and self._tokens.get(token_channel(token)) == token
+        )
 
     def finalize(self, fn: Callable, payload: tuple = ()) -> None:
         """Run a cleanup function once per worker after a sweep.
@@ -252,11 +298,11 @@ class SerialExecutor(Executor):
             return iter(())
         if initializer is not None:
             initializer(*payload)
-            self._installed_token = payload_token
+            self._record_install(payload_token)
         return map(task_fn, tasks)
 
     def close(self) -> None:
-        self._installed_token = None
+        self._clear_tokens()
 
 
 class PoolExecutor(Executor):
@@ -300,11 +346,14 @@ class PoolExecutor(Executor):
                 f"start method {start_method!r} not available "
                 f"(have {mp.get_all_start_methods()})"
             )
+        super().__init__()
         self.n_workers = n_workers
         self.start_method = start_method
         self.pin = pin
         self._pool = None
-        self._installed_pids = None
+        #: Worker pid set at install time, per token channel — a
+        #: respawned worker invalidates the delta path for a channel.
+        self._token_pids: dict = {}
         self._streaming = False
 
     def resolved_start_method(self) -> str:
@@ -340,7 +389,8 @@ class PoolExecutor(Executor):
                 initializer=_bootstrap_pool_worker,
                 initargs=(rank_counter, barrier, self.pin),
             )
-            self._installed_token = None
+            self._clear_tokens()
+            self._token_pids.clear()
         return self._pool
 
     def _broadcast(self, fn: Callable, payload: tuple) -> None:
@@ -404,8 +454,8 @@ class PoolExecutor(Executor):
             self._pool.terminate()
             self._pool.join()
             self._pool = None
-        self._installed_token = None
-        self._installed_pids = None
+        self._clear_tokens()
+        self._token_pids.clear()
         self._streaming = False
 
     def holds_token(self, token) -> bool:
@@ -419,7 +469,7 @@ class PoolExecutor(Executor):
         return (
             super().holds_token(token)
             and pids is not None
-            and pids == getattr(self, "_installed_pids", None)
+            and pids == self._token_pids.get(token_channel(token))
         )
 
     def imap(
@@ -446,8 +496,13 @@ class PoolExecutor(Executor):
         pool = self._ensure_pool()
         if initializer is not None:
             self._broadcast(initializer, payload)
-            self._installed_token = payload_token
-            self._installed_pids = self.worker_pids()
+            self._record_install(payload_token)
+            if payload_token is None:
+                self._token_pids.clear()
+            else:
+                self._token_pids[token_channel(payload_token)] = (
+                    self.worker_pids()
+                )
         # imap (not map): results stream back in task order as they
         # finish, so a consumer filling a bounded buffer — the device
         # COO stream — never holds every strip's hit arrays at once and
@@ -471,8 +526,8 @@ class PoolExecutor(Executor):
             self._pool.close()
             self._pool.join()
             self._pool = None
-        self._installed_token = None
-        self._installed_pids = None
+        self._clear_tokens()
+        self._token_pids.clear()
         self._streaming = False
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net

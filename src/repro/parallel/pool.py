@@ -87,6 +87,7 @@ __all__ = [
     "block_sweep_chunks",
     "parallel_conflict_graph",
     "payload_token_for",
+    "imap_delta_install",
     "PayloadNotInstalled",
     "TASKS_PER_WORKER",
 ]
@@ -158,8 +159,12 @@ def sweep_payload(
         # The token must name the *whole* static part, not just the
         # source: the same executor swept with a different engine or
         # chunk size is a different payload, and a delta-only install
-        # against the old cache would run stale config.
-        token = (payload_token_for(source), engine, chunk_size)
+        # against the old cache would run stale config.  The leading
+        # "sweep" element is the token channel (see
+        # :func:`repro.parallel.executor.token_channel`): sweep and
+        # coloring payloads coexist on one persistent pool without
+        # evicting each other's delta path.
+        token = ("sweep", payload_token_for(source), engine, chunk_size)
         static = {
             "engine": engine,
             "chunk_size": chunk_size,
@@ -180,37 +185,58 @@ def sweep_payload(
     return {"token": None, "static": static, "delta": delta}, None
 
 
-def imap_sweep(executor: Executor, task_fn, tasks, payload_args: dict):
-    """Install a sweep payload and stream the tasks, retrying once on
-    the delta-install respawn race.
+def imap_delta_install(
+    executor: Executor, task_fn, tasks, initializer, make_payload
+):
+    """Submit with a token-cached payload, retrying once on the
+    delta-install respawn race — the one retry protocol shared by the
+    conflict sweep and the parallel coloring engine.
 
+    ``make_payload(force_full)`` returns ``(payload, token, is_full)``.
     ``holds_token`` is checked when the payload is built, but a worker
     can die (and be auto-respawned with an empty cache) before the
     broadcast lands; the stranded worker then raises
     :class:`PayloadNotInstalled` and the broadcast recycles the pool.
-    Because the install has no side effects beyond worker state, the
-    recovery is mechanical: rebuild the payload (the recycled pool no
-    longer holds the token, so it comes out as a full install) and
-    submit once more.  The failure may also surface as a *peer's*
-    ``BrokenBarrierError`` (the stranded worker aborts the install
-    barrier, and whichever error the pool reports wins), so both count
-    as the respawn race — but only for a delta-only install; a failure
-    on a *full* install is a real error and propagates.
+    Because an install has no side effects beyond worker state, the
+    recovery is mechanical: rebuild the payload in full (a recycled
+    pool no longer holds the token, so delta-aware builders come out
+    full on their own) and submit once more.  The failure may also
+    surface as a *peer's* ``BrokenBarrierError`` (the stranded worker
+    aborts the install barrier, and whichever error the pool reports
+    wins), so both count as the respawn race — but only for a
+    delta-only install; a failure on a *full* install is a real error
+    and propagates.
     """
-    payload, token = sweep_payload(**payload_args)
+    payload, token, is_full = make_payload(False)
     try:
         return executor.imap(
-            task_fn, tasks, initializer=init_sweep_worker,
+            task_fn, tasks, initializer=initializer,
             payload=(payload,), payload_token=token,
         )
     except (PayloadNotInstalled, threading.BrokenBarrierError):
-        if payload["static"] is not None:
+        if is_full:
             raise
-        payload, token = sweep_payload(**payload_args)
+        payload, token, _ = make_payload(True)
         return executor.imap(
-            task_fn, tasks, initializer=init_sweep_worker,
+            task_fn, tasks, initializer=initializer,
             payload=(payload,), payload_token=token,
         )
+
+
+def imap_sweep(executor: Executor, task_fn, tasks, payload_args: dict):
+    """Install a sweep payload and stream the tasks (see
+    :func:`imap_delta_install` for the retry semantics)."""
+
+    def make_payload(force_full: bool):
+        # Full-ness is decided by sweep_payload via holds_token; after
+        # the respawn race recycled the pool the token is gone, so the
+        # rebuild comes out full without needing the flag.
+        payload, token = sweep_payload(**payload_args)
+        return payload, token, payload["static"] is not None
+
+    return imap_delta_install(
+        executor, task_fn, tasks, init_sweep_worker, make_payload
+    )
 
 
 def init_sweep_worker(payload: dict) -> None:

@@ -20,7 +20,7 @@ import time
 import numpy as np
 
 from repro.coloring.base import ColoringResult
-from repro.core.list_coloring import greedy_list_color_dynamic
+from repro.coloring.engine import get_engine
 from repro.core.palette import assign_color_lists
 from repro.core.params import PicassoParams
 from repro.device.kernels import lists_intersect_kernel
@@ -52,6 +52,11 @@ def semi_streaming_color(
     """
     params = params or PicassoParams()
     rng = as_generator(seed)
+    # Same pluggable Algorithm 2 seam as the in-memory driver: the
+    # conflict coloring of each pass goes through the engine registry.
+    color_engine = get_engine(
+        params.resolved_color_engine(), **params.color_engine_knobs()
+    )
     n = stream.n
     t0 = time.perf_counter()
     colors = np.full(n, -1, dtype=np.int64)
@@ -104,10 +109,8 @@ def semi_streaming_color(
         conflicted = np.nonzero(degrees > 0)[0]
         if len(conflicted):
             sub_gc, _ = induced_subgraph(gc, conflicted)
-            sub_colors, _ = greedy_list_color_dynamic(
-                sub_gc, col_lists[conflicted], rng
-            )
-            local_colors[conflicted] = sub_colors
+            outcome = color_engine.color(sub_gc, col_lists[conflicted], rng)
+            local_colors[conflicted] = outcome.colors
 
         colored = np.nonzero(local_colors >= 0)[0]
         colors[active_ids[colored]] = base_color + local_colors[colored]
@@ -124,5 +127,7 @@ def semi_streaming_color(
         colors=colors,
         algorithm="picasso-semistream",
         elapsed_s=time.perf_counter() - t0,
+        engine=color_engine.name,
+        n_rounds=passes,
         stats={"passes": passes, "max_retained_edges": max_retained},
     )

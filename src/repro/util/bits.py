@@ -152,6 +152,64 @@ def anybit_block(
     return out
 
 
+def lowest_set_bit_rows(masks: np.ndarray) -> np.ndarray:
+    """Index of the lowest set bit per row of a packed ``(n, W)`` matrix.
+
+    Returns an ``int64`` vector with -1 for all-zero rows.  This is the
+    one color-pick primitive shared across the coloring engines: the
+    round-synchronous parallel list engine's tentative pick is the
+    lowest set bit of ``list & ~forbidden``, and
+    :func:`smallest_available_color` is the lowest set bit of the
+    complemented presence bitset.
+
+    Fully vectorized: per word column, isolate the lowest bit with
+    ``m & (~m + 1)`` and recover its index via ``log2`` (exact — an
+    isolated bit is a power of two, which float64 represents exactly).
+    """
+    masks = np.asarray(masks, dtype=np.uint64)
+    if masks.ndim != 2:
+        raise ValueError(f"expected a 2-D bitset matrix, got shape {masks.shape}")
+    n, nwords = masks.shape
+    out = np.full(n, -1, dtype=np.int64)
+    remaining = np.arange(n, dtype=np.int64)
+    for w in range(nwords):
+        if remaining.size == 0:
+            break
+        col = masks[remaining, w]
+        hit = col != 0
+        if hit.any():
+            words = col[hit]
+            iso = words & (~words + np.uint64(1))
+            bits = np.log2(iso.astype(np.float64)).astype(np.int64)
+            out[remaining[hit]] = 64 * w + bits
+            remaining = remaining[~hit]
+    return out
+
+
+def smallest_available_color(forbidden: np.ndarray) -> int:
+    """Smallest non-negative integer not present in ``forbidden``.
+
+    ``forbidden`` may contain -1 entries (uncolored neighbors); they are
+    ignored.  The answer is at most ``len(forbidden)``, so a presence
+    bitset of that width suffices: pack the small forbidden values,
+    complement, and take the lowest set bit — the same
+    :func:`lowest_set_bit_rows` primitive the list-coloring engines
+    pick colors with.
+    """
+    forbidden = np.asarray(forbidden)
+    valid = forbidden[forbidden >= 0]
+    if valid.size == 0:
+        return 0
+    limit = int(valid.size)  # answer is in [0, limit]
+    nwords = (limit + 64) // 64
+    present = np.zeros(nwords, dtype=np.uint64)
+    small = valid[valid <= limit].astype(np.int64)
+    np.bitwise_or.at(
+        present, small >> 6, np.uint64(1) << (small & 63).astype(np.uint64)
+    )
+    return int(lowest_set_bit_rows(~present[None, :])[0])
+
+
 def bitset_indices(row: np.ndarray) -> np.ndarray:
     """Sorted bit indices set in a single packed bitset row.
 

@@ -136,3 +136,77 @@ class TestBitsetOps:
         masks = bits.bitset_from_lists([a, b], nbits)
         inter = bits.popcount_rows(masks[0:1] & masks[1:2])[0]
         assert inter == len(set(a.tolist()) & set(b.tolist()))
+
+
+class TestLowestSetBitRows:
+    def test_basic(self):
+        masks = np.array(
+            [[0b1000, 0], [0, 1], [0, 0], [1, 1]], dtype=np.uint64
+        )
+        np.testing.assert_array_equal(
+            bits.lowest_set_bit_rows(masks), [3, 64, -1, 0]
+        )
+
+    def test_high_bits(self):
+        masks = np.zeros((2, 2), dtype=np.uint64)
+        masks[0, 0] = np.uint64(1) << np.uint64(63)
+        masks[1, 1] = np.uint64(1) << np.uint64(63)
+        np.testing.assert_array_equal(
+            bits.lowest_set_bit_rows(masks), [63, 127]
+        )
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            bits.lowest_set_bit_rows(np.zeros(3, dtype=np.uint64))
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bitset_indices(self, nbits, seed):
+        rng = np.random.default_rng(seed)
+        rows = [
+            rng.choice(nbits, size=rng.integers(0, min(8, nbits) + 1), replace=False)
+            for _ in range(5)
+        ]
+        masks = bits.bitset_from_lists(rows, nbits)
+        got = bits.lowest_set_bit_rows(masks)
+        for i, row in enumerate(rows):
+            expect = int(row.min()) if len(row) else -1
+            assert got[i] == expect
+
+
+class TestSmallestAvailableColor:
+    """Canonical home moved here from coloring.base — the same
+    lowest-set-bit primitive the list engines pick colors with."""
+
+    def test_empty(self):
+        assert bits.smallest_available_color(np.array([], dtype=np.int64)) == 0
+
+    def test_ignores_negative(self):
+        assert bits.smallest_available_color(np.array([-1, -1])) == 0
+
+    def test_gap(self):
+        assert bits.smallest_available_color(np.array([0, 2, 3])) == 1
+
+    def test_dense_prefix(self):
+        assert bits.smallest_available_color(np.array([0, 1, 2])) == 3
+
+    def test_duplicates(self):
+        assert bits.smallest_available_color(np.array([0, 0, 1, 1])) == 2
+
+    def test_huge_values_ignored(self):
+        assert bits.smallest_available_color(np.array([10**9])) == 0
+
+    def test_beyond_word_boundary(self):
+        assert bits.smallest_available_color(np.arange(130)) == 130
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        forbidden = rng.integers(-1, 20, size=rng.integers(0, 40))
+        taken = set(int(c) for c in forbidden if c >= 0)
+        expect = next(c for c in range(len(forbidden) + 2) if c not in taken)
+        assert bits.smallest_available_color(forbidden) == expect
