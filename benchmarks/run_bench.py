@@ -8,12 +8,20 @@ grown so far:
 - **execution backend / gather** — serial, a ``--workers``-sized
   persistent pool with the pickled result gather, and the same pool
   with the zero-copy shared-memory gather;
-- **coloring engine** (new) — the serial bitset Algorithm 2
+- **coloring engine** — the serial bitset Algorithm 2
   (``greedy-dynamic``) vs the round-synchronous ``parallel-list``
   engine (``--color-engine`` picks any registry engine for these rows),
   both as ``color_serial`` (in-process rounds) and ``color_pool``
   (rounds dispatched over the worker pool, sweep *and* color sharing
-  one persistent pool via channelled payload tokens).
+  one persistent pool via channelled payload tokens);
+- **distributed backend** (new) — the same run sharded over socket
+  worker agents (:mod:`repro.distributed`): ``--hosts`` names running
+  agents, otherwise a loopback :class:`~repro.distributed.local.
+  LocalCluster` of ``--cluster-shards`` agents is spawned for the row.
+  On one box this measures transport overhead, not speedup (strips
+  still contend for the same cores) — the row exists to keep the
+  cross-host dispatch on the perf trajectory and to assert the
+  bit-identity contract end to end.
 
 Each case records a per-phase breakdown (assign / conflict build /
 conflict color wall-time) for the serial and parallel coloring engines
@@ -27,8 +35,8 @@ a given seed *within* an engine.  Across engines the group count may
 differ (lowest-bit speculative picks trade a few percent of quality for
 round-parallelism); the delta is recorded, not hidden.
 
-Elapsed seconds land in ``BENCH_PR4.json`` at the repo root; the JSON
-files form the performance trajectory (``BENCH_PR1..3.json`` hold the
+Elapsed seconds land in ``BENCH_PR5.json`` at the repo root; the JSON
+files form the performance trajectory (``BENCH_PR1..4.json`` hold the
 earlier axes), so regressions are visible in review.
 
 The parallel rows record ``host_cpu_count``; on hosts with fewer cores
@@ -61,10 +69,10 @@ from repro.core import Picasso, PicassoParams
 from repro.pauli import random_pauli_set
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_PR4.json"
+OUT_PATH = REPO_ROOT / "BENCH_PR5.json"
 #: --quick writes here instead, so a CI smoke run can never clobber
 #: the committed full-size trajectory file.
-QUICK_OUT_PATH = REPO_ROOT / "BENCH_PR4.quick.json"
+QUICK_OUT_PATH = REPO_ROOT / "BENCH_PR5.quick.json"
 
 #: (name, n strings, n qubits) — the last row is the acceptance
 #: headline: 10k strings over 50 qubits.
@@ -137,21 +145,52 @@ def main(argv=None) -> int:
         help="registry engine for the parallel-coloring rows "
         "(default parallel-list)",
     )
+    parser.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="running worker agents for the distributed row; when "
+        "omitted, a loopback LocalCluster of --cluster-shards agents "
+        "is spawned for the run",
+    )
+    parser.add_argument(
+        "--cluster-shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="loopback agents for the distributed row when --hosts is "
+        "not given (default 2, the CI configuration)",
+    )
     args = parser.parse_args(argv)
 
     cpu_count = os.cpu_count() or 1
     cases = QUICK_CASES if args.quick else CASES
     report = {
         "benchmark": (
-            "coloring engines on the execution substrate: greedy-dynamic "
-            f"vs {args.color_engine} (serial and pooled rounds), plus the "
-            "PR 1-3 backend/gather axes"
+            "distributed socket-sharded sweep+coloring vs the single-host "
+            f"axes: greedy-dynamic vs {args.color_engine} coloring, plus "
+            "the PR 1-3 backend/gather rows"
         ),
         "n_workers": args.workers,
         "color_engine": args.color_engine,
         "host_cpu_count": cpu_count,
         "cases": [],
     }
+    # Distributed row substrate: running agents (--hosts) or a loopback
+    # cluster spawned for the run.  Agents are daemon processes, so an
+    # aborted bench cannot leak them past interpreter exit.
+    import contextlib
+
+    stack = contextlib.ExitStack()
+    if args.hosts:
+        hosts = args.hosts
+        report["hosts"] = hosts
+    else:
+        from repro.distributed import LocalCluster
+
+        cluster = stack.enter_context(LocalCluster(args.cluster_shards))
+        hosts = ",".join(cluster.hosts)
+        report["hosts"] = f"loopback x{args.cluster_shards}"
     if cpu_count < args.workers:
         report["core_ceiling_note"] = (
             f"host exposes {cpu_count} core(s) < {args.workers} workers: "
@@ -162,6 +201,17 @@ def main(argv=None) -> int:
             "(an algorithmic, not core-count, effect); re-run on a "
             "multi-core host for the throughput numbers"
         )
+    # One exit seam for the loopback agents: whatever the case loop
+    # does — finish, assert-divergence return, or raise — the cluster
+    # is torn down here, not at each exit site.
+    try:
+        return _run_cases(args, report, hosts, cases)
+    finally:
+        stack.close()
+
+
+def _run_cases(args, report, hosts, cases) -> int:
+    """The per-case measurement loop (cluster lifetime owned by main)."""
     for name, n, nq in cases:
         pauli_set = random_pauli_set(n, nq, seed=0)
         # PR 1-3 axes (greedy-dynamic coloring throughout).
@@ -197,10 +247,20 @@ def main(argv=None) -> int:
             ),
             args.seed,
         )
+        # PR 5 axis: the full run sharded over socket worker agents —
+        # sweep strips dealt round-robin across hosts, greedy-dynamic
+        # coloring — must land on the same colors as every single-host
+        # backend.
+        cluster_row = run_config(
+            pauli_set,
+            PicassoParams(engine="tiled", hosts=hosts),
+            args.seed,
+        )
         identical = bool(
             np.array_equal(tiled["colors"], gather["colors"])
             and np.array_equal(tiled["colors"], tiled_par["colors"])
             and np.array_equal(tiled["colors"], tiled_shm["colors"])
+            and np.array_equal(tiled["colors"], cluster_row["colors"])
         )
         # Within the coloring engine, serial and pooled rounds must be
         # bit-identical (round-synchronous rounds are partition-
@@ -212,7 +272,10 @@ def main(argv=None) -> int:
         same_n_groups = bool(
             color_serial["n_colors"] == color_pool["n_colors"]
         )
-        for row in (tiled, tiled_par, tiled_shm, gather, color_serial, color_pool):
+        for row in (
+            tiled, tiled_par, tiled_shm, gather,
+            color_serial, color_pool, cluster_row,
+        ):
             row.pop("colors")
         engine_speedup = gather["total_s"] / max(tiled["total_s"], 1e-9)
         workers_build_speedup = tiled["conflict_build_s"] / max(
@@ -247,6 +310,7 @@ def main(argv=None) -> int:
             "gather": gather,
             "color_serial": color_serial,
             "color_pool": color_pool,
+            "cluster": cluster_row,
             # Distinct keys: --color-engine greedy-dynamic is a valid
             # choice and must not collapse the dict onto the baseline.
             "phase_breakdown": {
@@ -256,6 +320,13 @@ def main(argv=None) -> int:
             "engine_speedup": round(engine_speedup, 2),
             "workers_build_speedup": round(workers_build_speedup, 2),
             "shm_gather_build_speedup": round(shm_gather_build_speedup, 2),
+            # >1 needs real extra hosts; on one box this is transport
+            # overhead and the number to watch is how small it stays.
+            "cluster_build_speedup": round(
+                tiled["conflict_build_s"]
+                / max(cluster_row["conflict_build_s"], 1e-9),
+                2,
+            ),
             "color_phase_speedup": round(color_speedup, 2),
             "serial_fraction_reduction": serial_fraction_reduction,
             "color_quality_delta_pct": quality_delta_pct,
@@ -267,6 +338,7 @@ def main(argv=None) -> int:
         print(
             f"{name:<14} n={n:>6} tiled={tiled['total_s']:>8.2f}s "
             f"{args.color_engine}={color_serial['total_s']:>8.2f}s "
+            f"cluster={cluster_row['total_s']:>8.2f}s "
             f"color_phase {tiled['conflict_color_s']:.2f}s->"
             f"{color_serial['conflict_color_s']:.2f}s "
             f"({color_speedup:.2f}x, serial fraction "

@@ -66,6 +66,10 @@ def _make_params(args: argparse.Namespace):
         overrides["pin_workers"] = True
     if getattr(args, "color_engine", None) is not None:
         overrides["color_engine"] = args.color_engine
+    if getattr(args, "hosts", None) is not None:
+        overrides["hosts"] = args.hosts
+    if getattr(args, "transport", None) is not None:
+        overrides["transport"] = args.transport
     return base.with_(**overrides)
 
 
@@ -209,9 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1 = serial; parallel builds are bit-identical)",
     )
     p.add_argument(
-        "--executor", default=None, choices=["auto", "serial", "pool"],
+        "--executor", default=None,
+        choices=["auto", "serial", "pool", "cluster"],
         help="execution backend (default auto: serial for 1 worker, "
-        "process pool otherwise); pools persist across iterations",
+        "process pool otherwise, cluster when --hosts is given); pools "
+        "and cluster connections persist across iterations; 'cluster' "
+        "without --hosts reads the REPRO_HOSTS environment variable",
     )
     p.add_argument(
         "--shm", action="store_true",
@@ -223,6 +230,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--pin", action="store_true",
         help="pin each pool worker to one core (sched_setaffinity; "
         "no-op where unsupported)",
+    )
+    p.add_argument(
+        "--hosts", default=None, metavar="HOST:PORT,...",
+        help="shard the sweep and coloring rounds over multi-host "
+        "worker agents (python -m repro.distributed.worker on each "
+        "host); distributed builds and colorings are bit-identical "
+        "to serial per seed",
+    )
+    p.add_argument(
+        "--transport", default=None, choices=["socket"],
+        help="wire protocol for --hosts (default socket: "
+        "length-prefixed frames, numpy buffers sent raw)",
     )
     from repro.coloring.engine import available_engines
 

@@ -13,11 +13,14 @@ from repro.core.analysis import (
     share_probability_upper_bound,
     sublinear_space_bound,
 )
-from repro.core.conflict import build_conflict_graph, count_conflict_edges
-from repro.core.list_coloring import (
+from repro.coloring.greedy_list import (
+    # Via the engine home, not the deprecated repro.core.list_coloring
+    # shim — importing repro.core must not trip the shim's
+    # DeprecationWarning.
     greedy_list_color_dynamic,
     greedy_list_color_static,
 )
+from repro.core.conflict import build_conflict_graph, count_conflict_edges
 from repro.core.palette import assign_color_lists, lists_nbytes
 from repro.core.params import PicassoParams, aggressive_params, normal_params
 from repro.core.partition import (

@@ -50,6 +50,8 @@ def build_conflict_graph(
     est_conflict_edges: float | None = None,
     source=None,
     active_idx: np.ndarray | None = None,
+    hosts=None,
+    transport: str = "socket",
 ) -> tuple[CSRGraph, int]:
     """Build the conflict graph over ``n`` active vertices on the host.
 
@@ -92,10 +94,17 @@ def build_conflict_graph(
         Root edge source and active-vertex indices for the
         persistent-pool delta payload (see
         :mod:`repro.parallel.pool`).
+    hosts, transport:
+        Worker-agent addresses and wire protocol for the distributed
+        backend (spec ``"cluster"``, or ``"auto"`` with hosts set; see
+        :mod:`repro.distributed`).  Sharded builds stay bit-identical
+        to serial — strips merge in canonical order.
 
     Returns the CSR conflict graph and the conflict-edge count.
     """
-    with owned_executor(executor, n_workers) as ex:
+    with owned_executor(
+        executor, n_workers, hosts=hosts, transport=transport
+    ) as ex:
         return gathered_conflict_csr(
             n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
             tile_bytes=tile_bytes, executor=ex, shm=shm,
@@ -114,10 +123,14 @@ def count_conflict_edges(
     tile_bytes: int = DEFAULT_TILE_BYTES,
     n_workers: int = 1,
     executor: str | Executor = "auto",
+    hosts=None,
+    transport: str = "socket",
 ) -> int:
     """Conflict-edge count without materializing the graph (parameter
     sweeps, Fig. 5's ``max |Ec|`` heatmap)."""
-    with owned_executor(executor, n_workers) as ex:
+    with owned_executor(
+        executor, n_workers, hosts=hosts, transport=transport
+    ) as ex:
         total = 0
         for i, _ in conflict_sweep_chunks(
             n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,

@@ -16,6 +16,8 @@ removed once nothing references it.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.coloring.greedy_list import (
     greedy_list_color_dynamic,
     greedy_list_color_dynamic_sets,
@@ -27,3 +29,11 @@ __all__ = [
     "greedy_list_color_dynamic_sets",
     "greedy_list_color_static",
 ]
+
+warnings.warn(
+    "repro.core.list_coloring is deprecated and will be removed: import "
+    "from repro.coloring.greedy_list, or select an engine through the "
+    "repro.coloring.engine registry",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -56,12 +56,16 @@ class PicassoParams:
         is purely a throughput knob.
     executor:
         Execution backend: ``"auto"`` (serial for one worker, pool
-        otherwise), ``"serial"`` (force in-process), or ``"pool"``
-        (force a process pool even for one worker).  The pool is
-        persistent: created once per run, reused across Algorithm 1
-        iterations (only the per-iteration colmasks delta ships to the
-        workers), and closed when the run ends.  See
-        :mod:`repro.parallel.executor`.
+        otherwise — or the cluster backend when ``hosts`` is set),
+        ``"serial"`` (force in-process), ``"pool"`` (force a process
+        pool even for one worker), or ``"cluster"`` (shard over
+        multi-host worker agents; requires ``hosts`` or the
+        ``REPRO_HOSTS`` environment variable).  Pools and cluster
+        connections are persistent: created once per run, reused
+        across Algorithm 1 iterations (only the per-iteration colmasks
+        delta ships to the workers), and closed when the run ends.
+        See :mod:`repro.parallel.executor` /
+        :mod:`repro.distributed.cluster`.
     shm_gather:
         Gather sweep hits through a ``multiprocessing.shared_memory``
         COO region sized by the Lemma 2 estimate instead of pickling
@@ -88,6 +92,20 @@ class PicassoParams:
     color_max_rounds:
         Safety valve for the round-synchronous engines (``None`` =
         vertex count + 1, a true upper bound).
+    hosts:
+        Worker-agent addresses for the distributed backend
+        (:mod:`repro.distributed`): ``"host:port,host:port"`` or a
+        tuple of such strings.  Setting it routes ``executor="auto"``
+        to a :class:`~repro.distributed.cluster.ClusterExecutor`; the
+        sweep strips and coloring round picks shard across the agents
+        and merge in canonical order, so distributed CSR builds and
+        colorings are **bit-identical per seed** to serial for any
+        shard count — like ``n_workers``, purely a throughput knob.
+        ``shm_gather`` is ignored for cluster backends (shared memory
+        does not cross hosts).
+    transport:
+        Wire protocol for the distributed backend; ``"socket"`` (the
+        length-prefixed raw-buffer protocol) is the only one today.
     """
 
     palette_fraction: float = 0.125
@@ -105,6 +123,8 @@ class PicassoParams:
     pin_workers: bool = False
     color_engine: str = "auto"
     color_max_rounds: int | None = None
+    hosts: str | tuple | None = None
+    transport: str = "socket"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.palette_fraction <= 1.0:
@@ -123,8 +143,21 @@ class PicassoParams:
             raise ValueError("tile_budget_bytes must be positive")
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
-        if self.executor not in ("auto", "serial", "pool"):
+        if self.executor not in ("auto", "serial", "pool", "cluster"):
             raise ValueError(f"unknown executor {self.executor!r}")
+        if self.transport != "socket":
+            raise ValueError(
+                f"unknown transport {self.transport!r} (available: 'socket')"
+            )
+        if self.hosts is not None:
+            if self.executor not in ("auto", "cluster"):
+                raise ValueError(
+                    "hosts requires executor='cluster' (or 'auto')"
+                )
+            # Fail on a malformed spec here, not mid-run at connect time.
+            from repro.distributed.transport import parse_hosts
+
+            parse_hosts(self.hosts)
         if self.color_engine != "auto" and self.color_engine not in available_engines():
             raise ValueError(
                 f"unknown color_engine {self.color_engine!r}; "

@@ -134,16 +134,18 @@ class Picasso:
     def color_source(self, source) -> PicassoResult:
         """Algorithm 1 over any edge source."""
         params = self.params
-        # One persistent backend for the whole run: the pool is created
-        # once, the root source is installed into the workers under a
-        # payload token on the first sweep, and every later iteration
-        # ships only its delta (colmasks + active indices) — workers
-        # derive the iteration's subset oracle locally.  We created the
-        # executor from a spec, so we own it: the ``finally`` below
-        # closes it (worker processes are not leaked on success *or* on
-        # a non-convergence raise).
+        # One persistent backend for the whole run: the pool (or the
+        # cluster connections, when ``hosts`` selects the distributed
+        # backend) is created once, the root source is installed into
+        # the workers under a payload token on the first sweep, and
+        # every later iteration ships only its delta (colmasks + active
+        # indices) — workers derive the iteration's subset oracle
+        # locally.  We created the executor from a spec, so we own it:
+        # the ``finally`` below closes it (worker processes are not
+        # leaked on success *or* on a non-convergence raise).
         executor = make_executor(
-            params.executor, params.n_workers, pin=params.pin_workers
+            params.executor, params.n_workers, pin=params.pin_workers,
+            hosts=params.hosts, transport=params.transport,
         )
         try:
             return self._color_source_with(source, executor)

@@ -32,7 +32,7 @@ from repro.device.tiles import (
     tile_scratch_bytes,
 )
 from repro.graphs.csr import CSRGraph
-from repro.parallel.executor import Executor, SerialExecutor, owned_executor
+from repro.parallel.executor import Executor, owned_executor
 from repro.parallel.pool import conflict_hit_chunks
 
 
@@ -107,7 +107,8 @@ def build_conflict_csr(
         (:mod:`repro.parallel.shm`) instead of the result pipe.  The
         staging region is charged to the device budget like any other
         allocation (pinned host staging of a real GPU gather), so OOM
-        semantics stay honest.  Ignored for serial backends.
+        semantics stay honest.  Ignored for backends that cannot carry
+        it (serial in-process sweeps, cross-host cluster backends).
     est_conflict_edges:
         Lemma 2 expectation for shm region sizing (``None`` derives a
         bound from the masks).
@@ -134,7 +135,7 @@ def _algorithm3(
 ) -> tuple[CSRGraph, BuildStats]:
     """Algorithm 3 proper, against an already-resolved executor."""
     workers = max(1, ex.n_workers)
-    use_shm = shm and not isinstance(ex, SerialExecutor)
+    use_shm = shm and ex.supports_shm_gather
 
     # All build allocations go through DeviceSim.scratch on one
     # ExitStack — the same named-allocation discipline the coloring

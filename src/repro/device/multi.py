@@ -5,7 +5,13 @@ implementations".  The natural decomposition is already in place: the
 conflict kernel's domain is the flat pair range, so ``k`` devices each
 own a contiguous 1/k slice of pair space.  Each device streams its
 slice into its own COO buffer (bounded by its own budget); the host
-concatenates the partial edge lists and assembles the global CSR.
+folds the per-device partial edge lists — one COO chunk per device, in
+slice order — straight into the shared two-pass count-then-fill
+assembly (:func:`repro.graphs.csr.csr_from_coo_chunks`), the same path
+every other build front uses: nothing is concatenated, and the result
+is bit-identical to a single-device build of the same pair space.
+(The cross-*host* analog of this decomposition lives in
+:mod:`repro.distributed`.)
 
 The aggregate capacity is the sum of the devices' budgets, so inputs
 that overflow one device complete on several — the property the tests
@@ -20,7 +26,7 @@ import numpy as np
 
 from repro.device.kernels import EdgeMaskFn, conflict_pair_kernel
 from repro.device.sim import DeviceOutOfMemory, DeviceSim
-from repro.graphs.csr import CSRGraph, from_edge_list
+from repro.graphs.csr import CSRGraph, csr_from_coo_chunks
 from repro.parallel.partition import partition_pairs
 from repro.util.chunking import pair_index_to_ij
 
@@ -58,8 +64,7 @@ def build_conflict_csr_multi(
 
         ranges.append(PairRange(0, 0))
 
-    all_u: list[np.ndarray] = []
-    all_v: list[np.ndarray] = []
+    chunks: list[tuple[np.ndarray, np.ndarray]] = []
     edges_per_device: list[int] = []
     id_bytes = 4 if n < 2**31 else 8
     id_dtype = np.int32 if id_bytes == 4 else np.int64
@@ -97,16 +102,22 @@ def build_conflict_csr_multi(
             dev.free("coo_edges")
             dev.free("edge_counters")
             dev.free("colmasks")
-        all_u.append(u_buf[:filled].astype(np.int64))
-        all_v.append(v_buf[:filled].astype(np.int64))
+        chunks.append(
+            (
+                u_buf[:filled].astype(np.int64),
+                v_buf[:filled].astype(np.int64),
+            )
+        )
         edges_per_device.append(filled)
 
-    u = np.concatenate(all_u) if all_u else np.empty(0, dtype=np.int64)
-    v = np.concatenate(all_v) if all_v else np.empty(0, dtype=np.int64)
-    graph = from_edge_list(u, v, n)
+    # One COO chunk per device, in pair-slice order, straight into the
+    # shared two-pass assembly — the same chunk stream a single-device
+    # (or strip-parallel) sweep of the full pair space produces, so the
+    # CSR is bit-identical to those builds.
+    graph = csr_from_coo_chunks(chunks, n)
     stats = MultiBuildStats(
         n_vertices=n,
-        n_conflict_edges=int(len(u)),
+        n_conflict_edges=int(sum(edges_per_device)),
         edges_per_device=edges_per_device,
         peak_bytes_per_device=[d.peak_bytes for d in devices],
     )

@@ -1,0 +1,309 @@
+"""Multi-host execution backend: the ``Executor`` contract over sockets.
+
+:class:`ClusterExecutor` is to a set of worker *agents*
+(:mod:`repro.distributed.worker`) what
+:class:`~repro.parallel.executor.PoolExecutor` is to a persistent
+process pool — it implements the same submit/gather interface, so the
+conflict-sweep dispatcher (:mod:`repro.parallel.pool`) and the
+round-synchronous coloring engine
+(:mod:`repro.coloring.parallel_list`) shard across hosts with **zero
+changes to their dispatch logic**:
+
+- payloads install through a broadcast to every shard, recorded under
+  **channelled payload tokens** exactly as on the pool — repeat sweeps
+  ship only the colmasks / forbidden-word delta, and the sweep and
+  coloring channels coexist without evicting each other;
+- :meth:`holds_token` additionally pins the agent *incarnations* seen
+  at install time (the socket analog of the pool's worker-pid pin): an
+  agent restarted since the install has an empty payload cache, so the
+  next install ships in full rather than stranding it —
+  ``PayloadNotInstalled`` raised by a raced shard travels back verbatim
+  and triggers the dispatcher's one-shot full-install retry;
+- tasks are dealt **round-robin** over the shards and results are
+  interleaved back into task order, so the concatenated chunk stream —
+  and therefore the assembled CSR and the coloring rounds — is
+  bit-identical to the serial backend's for any shard count;
+- a broken broadcast, a shard that dies mid-strip, or an abandoned
+  result stream **recycles** the connections (bounded by the
+  ``REPRO_BROADCAST_TIMEOUT_S`` / ``REPRO_RESULT_TIMEOUT_S`` knobs the
+  pool already honours) instead of hanging the dispatcher.
+
+What does *not* carry over from the pool: the shared-memory gather
+(``shm_gather``) is a single-node shortcut — shared segments do not
+cross hosts — so the executor advertises
+``supports_shm_gather = False`` and the gather seam falls back to the
+framed result stream, which still sends hit arrays as raw out-of-band
+buffers (one memcpy, no per-element pickling).
+
+Closing the executor closes its *connections* only; agent processes
+are a host resource owned by whoever started them (the
+:class:`~repro.distributed.local.LocalCluster` harness, an operator's
+``python -m repro.distributed.worker`` on a real host).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+
+from repro.distributed.transport import (
+    BROADCAST_TIMEOUT_S,
+    RESULT_TIMEOUT_S,
+    Connection,
+    TransportError,
+    connect,
+    parse_hosts,
+)
+from repro.parallel.executor import Executor, token_channel
+
+__all__ = ["ClusterExecutor", "make_cluster_executor"]
+
+
+class ClusterExecutor(Executor):
+    """Socket-sharded execution backend over worker agents.
+
+    Parameters
+    ----------
+    hosts:
+        Agent addresses — ``"host:port,host:port"`` or an iterable of
+        ``"host:port"`` / ``(host, port)``.  One shard per agent.
+    connect_timeout_s, broadcast_timeout_s, result_timeout_s:
+        Per-operation bounds; default to the pool's env-overridable
+        ``REPRO_BROADCAST_TIMEOUT_S`` / ``REPRO_RESULT_TIMEOUT_S``
+        knobs.
+    """
+
+    supports_payload_cache = True
+
+    def __init__(
+        self,
+        hosts,
+        connect_timeout_s: float | None = None,
+        broadcast_timeout_s: float | None = None,
+        result_timeout_s: float | None = None,
+    ) -> None:
+        super().__init__()
+        self.hosts = parse_hosts(hosts)
+        self.n_workers = len(self.hosts)
+        self.connect_timeout_s = (
+            BROADCAST_TIMEOUT_S if connect_timeout_s is None else connect_timeout_s
+        )
+        self.broadcast_timeout_s = (
+            BROADCAST_TIMEOUT_S if broadcast_timeout_s is None else broadcast_timeout_s
+        )
+        self.result_timeout_s = (
+            RESULT_TIMEOUT_S if result_timeout_s is None else result_timeout_s
+        )
+        self._conns: list[Connection] | None = None
+        #: Agent incarnations at install time, per token channel — a
+        #: restarted agent invalidates the delta path for a channel.
+        self._token_incarnations: dict = {}
+        self._streaming = False
+
+    # -- connection lifecycle -------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """True while connections to every shard are live."""
+        return self._conns is not None
+
+    def worker_incarnations(self) -> list[str] | None:
+        """Agent identities of the live connections (``None`` when not
+        connected) — fresh per agent process, so a restart is visible
+        even when the replacement reuses the host:port."""
+        if self._conns is None:
+            return None
+        return [c.incarnation for c in self._conns]
+
+    def _ensure_connected(self) -> list[Connection]:
+        if self._conns is None:
+            conns: list[Connection] = []
+            try:
+                for host, port in self.hosts:
+                    conns.append(connect(host, port, self.connect_timeout_s))
+            except BaseException:
+                for c in conns:
+                    c.close()
+                raise
+            self._conns = conns
+            # A fresh connection epoch gives no guarantee about what a
+            # previous dispatcher left in the agents' per-sweep state;
+            # forget every token so the next install per channel ships
+            # full (which also clears stale worker state).
+            self._clear_tokens()
+            self._token_incarnations.clear()
+        return self._conns
+
+    def _recycle(self) -> None:
+        if self._conns is not None:
+            for c in self._conns:
+                c.close()
+            self._conns = None
+        self._clear_tokens()
+        self._token_incarnations.clear()
+        self._streaming = False
+
+    def holds_token(self, token) -> bool:
+        """A cluster additionally demands the agent set is unchanged:
+        a restarted agent has an empty payload cache, so a delta-only
+        install would strand it — any incarnation change (or no live
+        connections) forces the next install to ship in full."""
+        incs = self.worker_incarnations()
+        return (
+            super().holds_token(token)
+            and incs is not None
+            and incs == self._token_incarnations.get(token_channel(token))
+        )
+
+    # -- broadcast / stream ---------------------------------------------
+
+    def _broadcast(self, fn: Callable, payload: tuple) -> None:
+        conns = self._ensure_connected()
+        try:
+            # Send to every shard first, then collect the acks: agents
+            # drain their sockets promptly (they sit in recv between
+            # RPCs), so the installs run concurrently across hosts
+            # instead of serializing on each ack.
+            for c in conns:
+                c.send(
+                    {"op": "install", "fn": fn, "payload": payload},
+                    self.broadcast_timeout_s,
+                )
+            replies = [c.recv(self.broadcast_timeout_s) for c in conns]
+        except TransportError as exc:
+            self._recycle()
+            raise RuntimeError(
+                f"payload broadcast failed ({exc}) — a cluster worker "
+                "likely died mid-install; the connections have been "
+                "recycled"
+            ) from None
+        errors = [r["error"] for r in replies if not r.get("ok")]
+        if errors:
+            # The install failed on at least one shard; shards that
+            # succeeded now hold state the failed ones do not — the
+            # only consistent next step is a full re-install, so drop
+            # the connections (and with them the token record) and
+            # surface the first error verbatim (PayloadNotInstalled
+            # included, which the dispatcher retries in full).
+            self._recycle()
+            raise errors[0]
+
+    def _stream(self, n_tasks: int) -> Iterator:
+        conns = self._conns
+        n = len(conns)
+        done = False
+        try:
+            for k in range(n_tasks):
+                conn = conns[k % n]
+                try:
+                    msg = conn.recv(self.result_timeout_s)
+                except TransportError as exc:
+                    raise RuntimeError(
+                        f"no result from shard {k % n} "
+                        f"({self.hosts[k % n][0]}:{self.hosts[k % n][1]}) "
+                        f"within {self.result_timeout_s:.0f}s ({exc}) — a "
+                        "cluster worker likely died mid-strip; the "
+                        "connections have been recycled"
+                    ) from None
+                if not msg.get("ok"):
+                    raise msg["error"]
+                yield msg["result"]
+            done = True
+        finally:
+            self._streaming = False
+            if not done:
+                # Remaining results are churning toward a dead
+                # iterator; drop the connections (agents abort their
+                # task loops on the closed sockets) and start clean.
+                self._recycle()
+
+    # -- Executor contract ----------------------------------------------
+
+    def imap(
+        self,
+        task_fn: Callable,
+        tasks: Sequence,
+        initializer: Callable | None = None,
+        payload: tuple = (),
+        payload_token=None,
+    ) -> Iterator:
+        tasks = list(tasks)
+        if not tasks:
+            return iter(())
+        if self._streaming:
+            raise RuntimeError(
+                "ClusterExecutor does not support overlapping sweeps: "
+                "finish, close, or abandon the previous result stream first"
+            )
+        conns = self._ensure_connected()
+        if initializer is not None:
+            self._broadcast(initializer, payload)
+            self._record_install(payload_token)
+            if payload_token is None:
+                self._token_incarnations.clear()
+            else:
+                self._token_incarnations[token_channel(payload_token)] = (
+                    self.worker_incarnations()
+                )
+        n = len(conns)
+        try:
+            for k, conn in enumerate(conns):
+                # Round-robin deal: shard k owns tasks k, k+n, k+2n...
+                # Globally the i-th result is the (i // n)-th of shard
+                # i % n, so interleaving reads in that order restores
+                # exact task order — the determinism contract.
+                shard = tasks[k::n]
+                if shard:
+                    conn.send(
+                        {"op": "imap", "fn": task_fn, "tasks": shard},
+                        self.broadcast_timeout_s,
+                    )
+        except TransportError as exc:
+            self._recycle()
+            raise RuntimeError(
+                f"task dispatch failed ({exc}) — a cluster worker died; "
+                "the connections have been recycled"
+            ) from None
+        self._streaming = True
+        return self._stream(len(tasks))
+
+    def finalize(self, fn: Callable, payload: tuple = ()) -> None:
+        if self._conns is not None:
+            try:
+                self._broadcast(fn, payload)
+            except Exception:
+                # Finalize runs inside dispatchers' ``finally`` blocks:
+                # a cleanup failure must not mask the sweep's own
+                # exception.  _broadcast already recycled the
+                # connections, so stale worker state is unreachable.
+                pass
+
+    def close(self) -> None:
+        """Close the connections (agent processes stay up — they are
+        owned by whoever started them).  Idempotent."""
+        self._recycle()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self._recycle()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        addrs = ",".join(f"{h}:{p}" for h, p in self.hosts)
+        return f"ClusterExecutor(hosts=[{addrs}])"
+
+
+def make_cluster_executor(
+    hosts, transport: str = "socket", **kwargs
+) -> ClusterExecutor:
+    """Resolve a transport name to a cluster backend.
+
+    ``"socket"`` is the one transport today; the name is a seam for an
+    MPI-style allgather later, and unknown names fail loudly here
+    rather than deep in a connect call.
+    """
+    if transport != "socket":
+        raise ValueError(
+            f"unknown transport {transport!r} (available: 'socket')"
+        )
+    return ClusterExecutor(hosts, **kwargs)

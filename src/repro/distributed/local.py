@@ -1,0 +1,175 @@
+"""Loopback cluster harness: N worker agents as local processes.
+
+Tests, CI and the bench need a real multi-agent cluster without real
+hosts.  :class:`LocalCluster` spawns ``n_workers`` agent processes on
+``127.0.0.1`` (ephemeral ports, reported back over a pipe), honours the
+``REPRO_START_METHOD`` override but defaults to ``spawn`` regardless of
+platform (see :func:`_local_start_method` — forked agents inherit the
+dispatcher's open sockets and keep peer connections alive past their
+close), and exposes the ``hosts`` list a
+:class:`~repro.distributed.cluster.ClusterExecutor` connects to.
+
+The harness also owns the failure-injection hooks the transport tests
+need: :meth:`kill_worker` SIGKILLs one agent (the dispatcher must then
+surface a bounded error, not hang), and :meth:`restart_worker` brings a
+fresh agent up **on the same port** — same address, new incarnation —
+which is exactly the auto-respawn scenario the pool's kill tests pin
+down: the executor reconnects, sees the incarnation change, and ships
+the next install in full.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+from repro.distributed.cluster import ClusterExecutor
+from repro.parallel.executor import BROADCAST_TIMEOUT_S
+
+__all__ = ["LocalCluster"]
+
+
+def _local_start_method(start_method: str | None) -> str:
+    """``spawn`` unless explicitly overridden — **not** the pool's
+    fork-preferring default.  A forked agent inherits every open file
+    descriptor of the dispatcher process, including live sockets to
+    *other* agents; those copies keep the peer connections alive after
+    the dispatcher closes them, so an idle agent waiting for EOF would
+    wedge forever.  ``spawn`` starts agents with a clean descriptor
+    table, exactly like the standalone ``python -m
+    repro.distributed.worker`` of a real deployment.
+    """
+    method = start_method or os.environ.get("REPRO_START_METHOD") or "spawn"
+    if method not in mp.get_all_start_methods():
+        raise ValueError(
+            f"start method {method!r} not available "
+            f"(have {mp.get_all_start_methods()})"
+        )
+    return method
+
+
+def _agent_main(host: str, port: int, report) -> None:
+    """Agent process entry (module-level so it pickles under spawn)."""
+    from repro.distributed.worker import WorkerAgent
+
+    agent = WorkerAgent(host, port)
+    report.send(agent.port)
+    report.close()
+    agent.serve_forever()
+
+
+class LocalCluster:
+    """``n_workers`` worker agents on loopback, as child processes.
+
+    Usage::
+
+        with LocalCluster(2) as cluster:
+            with cluster.executor() as ex:
+                ...  # any Executor consumer
+
+    The cluster owns the agent *processes*; executors own only their
+    connections — several executors may dial one cluster in sequence
+    (the agents go back to ``accept`` when a dispatcher disconnects).
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        start_method: str | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.host = host
+        self.n_workers = n_workers
+        self._ctx = mp.get_context(_local_start_method(start_method))
+        self._procs: list = []
+        self._ports: list[int] = []
+        try:
+            for _ in range(n_workers):
+                proc, port = self._spawn(0)
+                self._procs.append(proc)
+                self._ports.append(port)
+        except BaseException:
+            self.close()
+            raise
+
+    def _spawn(self, port: int):
+        """Start one agent and wait (bounded) for its bound port."""
+        recv, send = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_agent_main, args=(self.host, port, send), daemon=True
+        )
+        proc.start()
+        send.close()
+        # Spawn-context children re-import the library before binding;
+        # the broadcast bound is generous enough for that.
+        if not recv.poll(BROADCAST_TIMEOUT_S):
+            proc.kill()
+            proc.join()
+            raise RuntimeError(
+                "local worker agent failed to start "
+                f"(exitcode={proc.exitcode})"
+            )
+        bound = recv.recv()
+        recv.close()
+        return proc, bound
+
+    @property
+    def hosts(self) -> tuple[str, ...]:
+        """``"host:port"`` per live slot — feed to ``ClusterExecutor``,
+        ``PicassoParams(hosts=...)`` or ``--hosts``."""
+        return tuple(f"{self.host}:{p}" for p in self._ports)
+
+    def executor(self, **kwargs) -> ClusterExecutor:
+        """A fresh :class:`ClusterExecutor` over this cluster's agents
+        (caller owns it — close it or use it as a context manager)."""
+        return ClusterExecutor(self.hosts, **kwargs)
+
+    def worker_pids(self) -> list[int]:
+        """Agent pids, in shard order (diagnostics/tests)."""
+        return [p.pid for p in self._procs]
+
+    def kill_worker(self, rank: int) -> None:
+        """SIGKILL one agent mid-flight — the failure-injection hook.
+
+        The agent gets no chance to flush or close; a dispatcher
+        waiting on it sees the connection drop (or its bounded timeout)
+        and must recycle, never hang.
+        """
+        proc = self._procs[rank]
+        proc.kill()
+        proc.join()
+
+    def restart_worker(self, rank: int) -> None:
+        """Replace a (dead) agent with a fresh one on the *same* port.
+
+        The replacement has a new incarnation, so executors that held
+        payload tokens against the old agent fall back to full
+        installs — the cross-host analog of a pool worker respawn.
+        """
+        old = self._procs[rank]
+        if old.is_alive():
+            old.kill()
+        old.join()
+        proc, port = self._spawn(self._ports[rank])
+        self._procs[rank] = proc
+        self._ports[rank] = port
+
+    def close(self) -> None:
+        """Kill every agent process.  Idempotent."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.kill()
+            proc.join()
+        self._procs = []
+        self._ports = []
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalCluster(n_workers={self.n_workers}, hosts={self.hosts})"

@@ -1,0 +1,224 @@
+"""Worker host agent: serves install/imap/finalize RPCs over the transport.
+
+One agent process runs per host (or per shard).  It owns no algorithm
+logic of its own — RPCs name the *existing* worker task functions
+(:func:`repro.parallel.pool.init_sweep_worker`,
+``_run_tile_strip``, :func:`repro.coloring.parallel_list._pick_strip`,
+...) by pickle reference, and the agent just calls them in-process.
+Worker-global state therefore behaves exactly as in a
+``multiprocessing`` pool worker: the token-cached static payload
+(:data:`repro.parallel.pool._STATIC_CACHE`, the palette cache of the
+parallel coloring engine) survives between RPCs for as long as the
+agent process lives, which is what makes delta installs work across
+hosts, and :class:`~repro.parallel.pool.PayloadNotInstalled` travels
+back to the dispatcher as itself so the one-shot full-install retry of
+:func:`repro.parallel.pool.imap_delta_install` fires unchanged.
+
+RPC vocabulary (one pickled dict per request)::
+
+    {"op": "install",  "fn": f, "payload": args}  -> {"ok": True}
+    {"op": "imap",     "fn": f, "tasks": [...]}   -> one {"ok": True,
+                                                    "result": r} per
+                                                    task, in task order
+    {"op": "finalize", "fn": f, "payload": args}  -> {"ok": True}
+    {"op": "ping"}                                -> {"ok": True, ...}
+    {"op": "shutdown"}                            -> {"ok": True}, stop
+
+Failures reply ``{"ok": False, "error": exc, "traceback": str}`` — the
+exception object itself when it pickles, a ``RuntimeError`` carrying
+its repr otherwise — and the agent keeps serving.  ``imap`` streams
+results as they finish so the dispatcher can interleave shards; a
+dispatcher that abandons the stream (its socket closes) just aborts the
+remaining tasks, and the agent goes back to accepting.
+
+The agent serves one connection at a time: the cluster executor holds
+one persistent connection per shard, mirroring the persistent pool.
+
+Run standalone on a real host with::
+
+    python -m repro.distributed.worker --bind 0.0.0.0:7070
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import traceback
+import uuid
+
+from repro.distributed.transport import (
+    RESULT_TIMEOUT_S,
+    Connection,
+    HandshakeError,
+    TransportError,
+    check_hello,
+    recv_msg,
+    send_msg,
+    server_hello,
+)
+
+__all__ = ["WorkerAgent", "serve", "main"]
+
+#: Block forever while idle between RPCs — nothing is in flight, so
+#: there is nothing for a bound to protect.
+_IDLE = float("inf")
+
+#: Bound on result sends.  The dispatcher drains shards strictly in
+#: task order and may legitimately sit on a *sibling* shard for up to
+#: its per-result bound; until it comes back to us, our sends block on
+#: TCP backpressure.  Matching the dispatcher's drain bound (not the
+#: much shorter install bound) means backpressure alone can never kill
+#: a healthy connection.
+_SEND_BOUND = RESULT_TIMEOUT_S
+
+
+class _Shutdown(Exception):
+    """Raised inside the RPC loop by the shutdown op."""
+
+
+def _safe_error(exc: BaseException) -> dict:
+    """An error reply whose exception survives pickling.
+
+    Library exceptions (``PayloadNotInstalled``, ``ValueError``, ...)
+    pickle fine and are re-raised verbatim on the dispatcher; anything
+    that does not pickle degrades to a ``RuntimeError`` with the repr,
+    never to a dead connection.
+    """
+    import pickle
+
+    try:
+        pickle.dumps(exc)
+        err: BaseException = exc
+    except Exception:
+        err = RuntimeError(f"{type(exc).__name__}: {exc!r}")
+    return {"ok": False, "error": err, "traceback": traceback.format_exc()}
+
+
+class WorkerAgent:
+    """One host's RPC server over a listening socket.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  Port 0 picks an ephemeral port (the loopback
+        test harness); :attr:`port` reports the bound one.
+        ``SO_REUSEADDR`` is set so a restarted agent can rebind the
+        port of a killed predecessor immediately.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        #: Fresh per agent process, never reused: a dispatcher that
+        #: reconnects and sees a different incarnation knows every
+        #: worker-side payload cache is gone.
+        self.incarnation = uuid.uuid4().hex
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(4)
+        self.port = self._listener.getsockname()[1]
+
+    # -- RPC handlers ----------------------------------------------------
+
+    def _handle(self, conn: Connection, msg: dict) -> None:
+        op = msg.get("op")
+        if op == "install" or op == "finalize":
+            try:
+                msg["fn"](*msg.get("payload", ()))
+            except Exception as exc:
+                # Exception, not BaseException: KeyboardInterrupt /
+                # SystemExit must stop a standalone agent, not be
+                # pickled into an error reply.
+                conn.send(_safe_error(exc))
+                return
+            conn.send({"ok": True})
+        elif op == "imap":
+            fn = msg["fn"]
+            for task in msg["tasks"]:
+                try:
+                    result = fn(task)
+                except Exception as exc:
+                    conn.send(_safe_error(exc), _SEND_BOUND)
+                    return
+                conn.send({"ok": True, "result": result}, _SEND_BOUND)
+        elif op == "ping":
+            conn.send(
+                {"ok": True, **server_hello(self.incarnation)}
+            )
+        elif op == "shutdown":
+            conn.send({"ok": True})
+            raise _Shutdown
+        else:
+            conn.send(
+                _safe_error(ValueError(f"unknown RPC op {op!r}"))
+            )
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_msg(sock, server_hello(self.incarnation))
+        check_hello(recv_msg(sock))
+        conn = Connection(sock)
+        while True:
+            msg = recv_msg(sock, _IDLE)
+            self._handle(conn, msg)
+
+    def serve_forever(self) -> None:
+        """Accept loop: one connection served to completion at a time.
+
+        A dispatcher that disconnects (sweep done, executor recycled,
+        or died) drops the agent back into ``accept``; only an explicit
+        shutdown RPC ends the loop.
+        """
+        try:
+            while True:
+                sock, _ = self._listener.accept()
+                try:
+                    self._serve_connection(sock)
+                except _Shutdown:
+                    return
+                except (TransportError, HandshakeError, OSError):
+                    # Peer gone or spoke garbage: this connection is
+                    # done, the agent is fine.  In-flight per-sweep
+                    # state is torn down by the next install.
+                    pass
+                finally:
+                    sock.close()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close never matters
+            pass
+
+
+def serve(host: str = "127.0.0.1", port: int = 0) -> None:
+    """Bind and serve until a shutdown RPC (blocking convenience)."""
+    agent = WorkerAgent(host, port)
+    # flush: operators (and tests) read the bound port through a pipe.
+    print(
+        f"repro worker agent listening on {agent.host}:{agent.port}",
+        flush=True,
+    )
+    agent.serve_forever()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="repro distributed worker agent"
+    )
+    parser.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="listen address (port 0 picks an ephemeral port)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.bind.rpartition(":")
+    serve(host or "127.0.0.1", int(port))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,11 +35,12 @@ def anticommute_graph(
     kernel: str = "iooh",
     n_workers: int = 1,
     executor=None,
+    hosts=None,
 ) -> CSRGraph:
     """Explicit graph ``G``: edges connect anticommuting string pairs."""
     return _oracle_graph(
         pauli_set, want_anticommute=True, chunk_size=chunk_size,
-        kernel=kernel, n_workers=n_workers, executor=executor,
+        kernel=kernel, n_workers=n_workers, executor=executor, hosts=hosts,
     )
 
 
@@ -49,12 +50,18 @@ def complement_graph(
     kernel: str = "iooh",
     n_workers: int = 1,
     executor=None,
+    hosts=None,
 ) -> CSRGraph:
     """Explicit complement graph ``G'``: edges connect *commuting*
-    distinct pairs — the graph the coloring baselines run on (§II-B)."""
+    distinct pairs — the graph the coloring baselines run on (§II-B).
+
+    ``hosts`` shards the sweep over multi-host worker agents
+    (:mod:`repro.distributed`); results merge in canonical tile order,
+    so the built CSR is bit-identical to the serial one.
+    """
     return _oracle_graph(
         pauli_set, want_anticommute=False, chunk_size=chunk_size,
-        kernel=kernel, n_workers=n_workers, executor=executor,
+        kernel=kernel, n_workers=n_workers, executor=executor, hosts=hosts,
     )
 
 
@@ -80,6 +87,7 @@ def _oracle_graph(
     kernel: str,
     n_workers: int = 1,
     executor=None,
+    hosts=None,
 ) -> CSRGraph:
     oracle = pauli_set.oracle(kernel)
     tile = _oracle_tile(pauli_set, chunk_size)
@@ -94,7 +102,7 @@ def _oracle_graph(
     # contract (close what this call materialized, leave a passed
     # instance open) lives in owned_executor.
     with owned_executor(
-        executor if executor is not None else "auto", n_workers
+        executor if executor is not None else "auto", n_workers, hosts=hosts
     ) as ex:
         chunks = [
             (i, j)

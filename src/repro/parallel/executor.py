@@ -19,8 +19,13 @@ handed to an :class:`Executor`, which decides where the tasks run.
   :mod:`repro.parallel.pool`).  Optional ``pin=True`` pins each worker
   to one core via ``os.sched_setaffinity`` so its tile scratch stays
   NUMA-local (a silent no-op on platforms without the call).
+- :class:`repro.distributed.cluster.ClusterExecutor` (spec
+  ``"cluster"``, or ``"auto"`` with ``hosts=``) — the same contract
+  sharded over worker agents on other hosts through the socket
+  transport; lives in :mod:`repro.distributed` and is resolved lazily
+  by :func:`make_executor`.
 
-Both backends preserve task order in their results, which is what lets
+All backends preserve task order in their results, which is what lets
 the tile sweep keep its deterministic chunk stream — parallel and
 serial conflict-graph builds are bit-identical per seed (see
 :mod:`repro.parallel.pool`).
@@ -174,9 +179,17 @@ class Executor(ABC):
     n_workers: int = 1
 
     #: Whether workers outlive a sweep, making the token-cached static
-    #: payload worth keeping (True only for persistent pools — an
-    #: in-process backend would just pin large arrays in the dispatcher).
+    #: payload worth keeping (True for persistent pools and cluster
+    #: connections — an in-process backend would just pin large arrays
+    #: in the dispatcher).
     supports_payload_cache: bool = False
+
+    #: Whether the shared-memory COO gather (:mod:`repro.parallel.shm`)
+    #: can carry this backend's results: only same-node process pools —
+    #: shared segments do not cross hosts, and in-process sweeps never
+    #: cross a pipe at all.  The gather seam falls back to the plain
+    #: result stream when this is False.
+    supports_shm_gather: bool = False
 
     def __init__(self) -> None:
         #: Installed payload token per channel (see :func:`token_channel`);
@@ -332,6 +345,7 @@ class PoolExecutor(Executor):
     """
 
     supports_payload_cache = True
+    supports_shm_gather = True
 
     def __init__(
         self,
@@ -542,19 +556,39 @@ def make_executor(
     n_workers: int = 1,
     start_method: str | None = None,
     pin: bool = False,
+    hosts=None,
+    transport: str = "socket",
 ) -> Executor:
     """Resolve an executor spec to a backend instance.
 
     ``"serial"`` always runs in-process; ``"pool"`` always builds a
     :class:`PoolExecutor` (even for one worker — useful in tests);
-    ``"auto"`` picks serial for ``n_workers <= 1`` and a pool
-    otherwise.  An :class:`Executor` instance passes through untouched
-    (``pin``/``start_method`` are ignored for it; the instance's owner
-    configured and closes it).  Spec-created executors are owned by the
-    caller, who must close them.
+    ``"auto"`` picks serial for ``n_workers <= 1``, a pool otherwise —
+    unless ``hosts`` is given, which routes ``"auto"`` to the cluster
+    backend.  ``"cluster"`` always builds a
+    :class:`~repro.distributed.cluster.ClusterExecutor` over the worker
+    agents named by ``hosts`` (``"host:port,host:port"`` or a
+    sequence), falling back to the ``REPRO_HOSTS`` environment
+    variable; ``transport`` selects the wire protocol (``"socket"``).
+    An :class:`Executor` instance passes through untouched
+    (``pin``/``start_method``/``hosts`` are ignored for it; the
+    instance's owner configured and closes it).  Spec-created executors
+    are owned by the caller, who must close them.
     """
     if isinstance(spec, Executor):
         return spec
+    if spec == "cluster" or (spec == "auto" and hosts):
+        if hosts is None:
+            hosts = os.environ.get("REPRO_HOSTS")
+        if not hosts:
+            raise ValueError(
+                "executor='cluster' needs hosts (PicassoParams(hosts=...), "
+                "--hosts, or the REPRO_HOSTS environment variable)"
+            )
+        # Imported lazily: repro.distributed builds on this module.
+        from repro.distributed.cluster import make_cluster_executor
+
+        return make_cluster_executor(hosts, transport)
     if spec == "serial":
         return SerialExecutor()
     if spec == "pool":
@@ -572,6 +606,8 @@ def owned_executor(
     n_workers: int = 1,
     start_method: str | None = None,
     pin: bool = False,
+    hosts=None,
+    transport: str = "socket",
 ):
     """The executor-lifecycle contract as a context manager.
 
@@ -581,7 +617,7 @@ def owned_executor(
     Every build function that accepts a spec-or-instance uses this one
     expression of the ownership rule instead of hand-rolling it.
     """
-    ex = make_executor(spec, n_workers, start_method, pin)
+    ex = make_executor(spec, n_workers, start_method, pin, hosts, transport)
     try:
         yield ex
     finally:

@@ -448,9 +448,11 @@ def conflict_hit_chunks(
 
     Yields an iterable of ``(i, j)`` hit chunks in canonical strip
     order, resolved through the shared-memory gather when ``shm`` is on
-    and the backend is a worker pool, and through the pickled stream
-    otherwise (``shm`` is meaningless for in-process sweeps — nothing
-    crosses a pipe — so serial backends always take the plain path).
+    and the backend supports it (same-node worker pools), and through
+    the plain result stream otherwise — ``shm`` is meaningless for
+    in-process sweeps (nothing crosses a pipe) and impossible for
+    cluster backends (shared segments do not cross hosts), so both
+    take the plain path.
     Keeping the policy here, not in each caller, is what guarantees the
     host build, the device build and :func:`parallel_conflict_graph`
     can never diverge on it.  Shm-backed chunks are views into the
@@ -461,7 +463,7 @@ def conflict_hit_chunks(
     # shm partitioner would silently treat unknown engines as "pairs").
     if engine not in ("tiled", "pairs"):
         raise ValueError(f"unknown engine {engine!r}")
-    if shm and executor is not None and not isinstance(executor, SerialExecutor):
+    if shm and executor is not None and executor.supports_shm_gather:
         with shm_conflict_gather(
             n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
             tile_bytes=tile_bytes, tile=tile, executor=executor,

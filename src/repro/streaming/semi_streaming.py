@@ -26,6 +26,7 @@ from repro.core.params import PicassoParams
 from repro.device.kernels import lists_intersect_kernel
 from repro.graphs.csr import from_edge_list
 from repro.graphs.ops import induced_subgraph
+from repro.parallel.executor import owned_executor
 from repro.util.rng import as_generator
 
 
@@ -53,10 +54,24 @@ def semi_streaming_color(
     params = params or PicassoParams()
     rng = as_generator(seed)
     # Same pluggable Algorithm 2 seam as the in-memory driver: the
-    # conflict coloring of each pass goes through the engine registry.
+    # conflict coloring of each pass goes through the engine registry,
+    # and parallel engines receive the run's executor — the default
+    # params resolve to the in-process serial backend, but
+    # ``n_workers``/``hosts`` put the per-pass conflict coloring on a
+    # pool or on multi-host worker agents exactly as in the in-memory
+    # driver (one persistent backend for all passes).
     color_engine = get_engine(
         params.resolved_color_engine(), **params.color_engine_knobs()
     )
+    with owned_executor(
+        params.executor, params.n_workers, pin=params.pin_workers,
+        hosts=params.hosts, transport=params.transport,
+    ) as executor:
+        return _semi_streaming_color(stream, params, rng, color_engine, executor)
+
+
+def _semi_streaming_color(stream, params, rng, color_engine, executor):
+    """The pass loop, against an already-resolved executor."""
     n = stream.n
     t0 = time.perf_counter()
     colors = np.full(n, -1, dtype=np.int64)
@@ -109,7 +124,9 @@ def semi_streaming_color(
         conflicted = np.nonzero(degrees > 0)[0]
         if len(conflicted):
             sub_gc, _ = induced_subgraph(gc, conflicted)
-            outcome = color_engine.color(sub_gc, col_lists[conflicted], rng)
+            outcome = color_engine.color(
+                sub_gc, col_lists[conflicted], rng, executor=executor
+            )
             local_colors[conflicted] = outcome.colors
 
         colored = np.nonzero(local_colors >= 0)[0]

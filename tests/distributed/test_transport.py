@@ -1,0 +1,163 @@
+"""Tests for the length-prefixed socket transport (frames, handshake)."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.distributed.transport import (
+    MAGIC,
+    PROTOCOL_VERSION,
+    HandshakeError,
+    TransportError,
+    check_hello,
+    parse_hosts,
+    recv_msg,
+    send_msg,
+    server_hello,
+)
+
+
+def _pair():
+    return socket.socketpair()
+
+
+class TestFrames:
+    def test_roundtrip_plain_objects(self):
+        a, b = _pair()
+        try:
+            for obj in [{"op": "ping"}, [1, "two", None], 42, b"raw"]:
+                send_msg(a, obj)
+                assert recv_msg(b, 5.0) == obj
+        finally:
+            a.close()
+            b.close()
+
+    def test_roundtrip_numpy_out_of_band(self):
+        """Arrays inside arbitrary containers survive, bit for bit.
+
+        The receiver drains on a thread, as a real peer does — frames
+        larger than the kernel's socket buffer cannot round-trip
+        single-threaded (true of any stream protocol).
+        """
+        import threading
+
+        a, b = _pair()
+        try:
+            msg = {
+                "u": np.arange(1_000_000, dtype=np.int64),  # ~8 MB raw
+                "f": np.linspace(0, 1, 7),
+                "packed": np.array([[1, 2], [3, 4]], dtype=np.uint64),
+                "empty": np.empty(0, dtype=np.int64),
+                "nested": [np.array([5, 6], dtype=np.int32), "tag"],
+            }
+            box = {}
+            reader = threading.Thread(
+                target=lambda: box.setdefault("got", recv_msg(b, 10.0))
+            )
+            reader.start()
+            send_msg(a, msg, 10.0)
+            reader.join(15.0)
+            got = box["got"]
+            for key in ("u", "f", "packed", "empty"):
+                np.testing.assert_array_equal(got[key], msg[key])
+                assert got[key].dtype == msg[key].dtype
+            np.testing.assert_array_equal(got["nested"][0], msg["nested"][0])
+        finally:
+            a.close()
+            b.close()
+
+    def test_received_arrays_are_writable(self):
+        """Out-of-band buffers land in bytearrays, so workers can
+        mutate received state in place (the forbidden-bitset delta)."""
+        a, b = _pair()
+        try:
+            send_msg(a, np.arange(8, dtype=np.uint64))
+            got = recv_msg(b, 5.0)
+            got[0] = np.uint64(7)  # must not raise
+            assert got[0] == 7
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_array_pickle_stays_small(self):
+        """The point of the raw-buffer protocol: a big array's bytes do
+        not pass through the pickle stream."""
+        import pickle
+
+        arr = np.arange(1 << 16, dtype=np.int64)  # 512 KB
+        buffers = []
+        payload = pickle.dumps(
+            {"arr": arr}, protocol=5, buffer_callback=buffers.append
+        )
+        assert len(payload) < 4096
+        assert sum(b.raw().nbytes for b in buffers) == arr.nbytes
+
+    def test_bad_magic_rejected(self):
+        a, b = _pair()
+        try:
+            a.sendall(b"GET / HTTP/1.1\r\n" + b"\x00" * 16)
+            with pytest.raises(TransportError, match="magic"):
+                recv_msg(b, 5.0)
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_close_mid_frame(self):
+        a, b = _pair()
+        a.close()
+        try:
+            with pytest.raises(TransportError, match="closed"):
+                recv_msg(b, 5.0)
+        finally:
+            b.close()
+
+    def test_recv_timeout_is_bounded(self):
+        import time
+
+        a, b = _pair()
+        try:
+            t0 = time.perf_counter()
+            with pytest.raises(TransportError, match="timed out"):
+                recv_msg(b, 0.2)
+            assert time.perf_counter() - t0 < 5.0
+        finally:
+            a.close()
+            b.close()
+
+
+class TestHandshake:
+    def test_server_hello_accepted(self):
+        hello = server_hello("abc123")
+        assert check_hello(hello) is hello
+        assert hello["incarnation"] == "abc123"
+
+    def test_version_mismatch_raises(self):
+        bad = {"magic": MAGIC, "version": PROTOCOL_VERSION + 1}
+        with pytest.raises(HandshakeError, match="version mismatch"):
+            check_hello(bad)
+
+    def test_non_agent_peer_raises(self):
+        with pytest.raises(HandshakeError, match="not a repro worker"):
+            check_hello({"hello": "world"})
+        with pytest.raises(HandshakeError):
+            check_hello("nope")
+
+
+class TestParseHosts:
+    def test_comma_string(self):
+        assert parse_hosts("a:1, b:2 ,c:3") == (
+            ("a", 1), ("b", 2), ("c", 3),
+        )
+
+    def test_sequences(self):
+        assert parse_hosts(["a:1", ("b", 2)]) == (("a", 1), ("b", 2))
+        assert parse_hosts(("127.0.0.1:7070",)) == (("127.0.0.1", 7070),)
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="host:port"):
+            parse_hosts("justahost")
+        with pytest.raises(ValueError, match="empty"):
+            parse_hosts("")
+        with pytest.raises(ValueError):
+            parse_hosts("a:notaport")
