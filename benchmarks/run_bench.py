@@ -35,8 +35,16 @@ a given seed *within* an engine.  Across engines the group count may
 differ (lowest-bit speculative picks trade a few percent of quality for
 round-parallelism); the delta is recorded, not hidden.
 
-Elapsed seconds land in ``BENCH_PR5.json`` at the repo root; the JSON
-files form the performance trajectory (``BENCH_PR1..4.json`` hold the
+- **checkpointing** (new) — the serial tiled run with an every-
+  iteration snapshot (``checkpoint_dir`` set, ``checkpoint_every=1``,
+  the worst case) against the same run with checkpointing off; the
+  ``checkpoint_overhead_pct`` metric is the acceptance number (<= 5%
+  on the 10k headline) and the checkpointed run participates in the
+  bit-identity assertion, since a snapshot that perturbed the
+  trajectory would defeat its purpose.
+
+Elapsed seconds land in ``BENCH_PR6.json`` at the repo root; the JSON
+files form the performance trajectory (``BENCH_PR1..5.json`` hold the
 earlier axes), so regressions are visible in review.
 
 The parallel rows record ``host_cpu_count``; on hosts with fewer cores
@@ -60,6 +68,7 @@ import json
 import os
 import pathlib
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -69,10 +78,10 @@ from repro.core import Picasso, PicassoParams
 from repro.pauli import random_pauli_set
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_PR5.json"
+OUT_PATH = REPO_ROOT / "BENCH_PR6.json"
 #: --quick writes here instead, so a CI smoke run can never clobber
 #: the committed full-size trajectory file.
-QUICK_OUT_PATH = REPO_ROOT / "BENCH_PR5.quick.json"
+QUICK_OUT_PATH = REPO_ROOT / "BENCH_PR6.quick.json"
 
 #: (name, n strings, n qubits) — the last row is the acceptance
 #: headline: 10k strings over 50 qubits.
@@ -256,11 +265,25 @@ def _run_cases(args, report, hosts, cases) -> int:
             PicassoParams(engine="tiled", hosts=hosts),
             args.seed,
         )
+        # PR 6 axis: the same serial run snapshotting every iteration —
+        # the worst-case checkpoint cadence.  The overhead metric is
+        # the acceptance number; the colors join the identity assert.
+        with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as ckpt_dir:
+            checkpointed = run_config(
+                pauli_set,
+                PicassoParams(
+                    engine="tiled",
+                    checkpoint_dir=ckpt_dir,
+                    checkpoint_every=1,
+                ),
+                args.seed,
+            )
         identical = bool(
             np.array_equal(tiled["colors"], gather["colors"])
             and np.array_equal(tiled["colors"], tiled_par["colors"])
             and np.array_equal(tiled["colors"], tiled_shm["colors"])
             and np.array_equal(tiled["colors"], cluster_row["colors"])
+            and np.array_equal(tiled["colors"], checkpointed["colors"])
         )
         # Within the coloring engine, serial and pooled rounds must be
         # bit-identical (round-synchronous rounds are partition-
@@ -274,9 +297,15 @@ def _run_cases(args, report, hosts, cases) -> int:
         )
         for row in (
             tiled, tiled_par, tiled_shm, gather,
-            color_serial, color_pool, cluster_row,
+            color_serial, color_pool, cluster_row, checkpointed,
         ):
             row.pop("colors")
+        checkpoint_overhead_pct = round(
+            100.0
+            * (checkpointed["total_s"] - tiled["total_s"])
+            / max(tiled["total_s"], 1e-9),
+            2,
+        )
         engine_speedup = gather["total_s"] / max(tiled["total_s"], 1e-9)
         workers_build_speedup = tiled["conflict_build_s"] / max(
             tiled_par["conflict_build_s"], 1e-9
@@ -311,6 +340,7 @@ def _run_cases(args, report, hosts, cases) -> int:
             "color_serial": color_serial,
             "color_pool": color_pool,
             "cluster": cluster_row,
+            "checkpointed": checkpointed,
             # Distinct keys: --color-engine greedy-dynamic is a valid
             # choice and must not collapse the dict onto the baseline.
             "phase_breakdown": {
@@ -328,6 +358,10 @@ def _run_cases(args, report, hosts, cases) -> int:
                 2,
             ),
             "color_phase_speedup": round(color_speedup, 2),
+            # Worst-case cadence (every iteration); acceptance wants
+            # <= 5% on the headline.  Can dip negative within run-to-
+            # run noise when snapshots are cheap.
+            "checkpoint_overhead_pct": checkpoint_overhead_pct,
             "serial_fraction_reduction": serial_fraction_reduction,
             "color_quality_delta_pct": quality_delta_pct,
             "identical_colorings": identical,
@@ -344,6 +378,7 @@ def _run_cases(args, report, hosts, cases) -> int:
             f"({color_speedup:.2f}x, serial fraction "
             f"{greedy_phases['color_fraction']:.2f}->"
             f"{parallel_phases['color_fraction']:.2f}) "
+            f"ckpt_overhead {checkpoint_overhead_pct:+.1f}% "
             f"quality {quality_delta_pct:+.1f}% "
             f"identical={identical}/{identical_color}"
         )

@@ -70,6 +70,16 @@ def _make_params(args: argparse.Namespace):
         overrides["hosts"] = args.hosts
     if getattr(args, "transport", None) is not None:
         overrides["transport"] = args.transport
+    if getattr(args, "checkpoint_dir", None) is not None:
+        overrides["checkpoint_dir"] = args.checkpoint_dir
+    if getattr(args, "checkpoint_every", None) is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "resume", False):
+        overrides["resume"] = True
+    if getattr(args, "failover", None) is not None:
+        overrides["failover"] = args.failover
+    if getattr(args, "max_retries", None) is not None:
+        overrides["max_retries"] = args.max_retries
     return base.with_(**overrides)
 
 
@@ -252,6 +262,38 @@ def build_parser() -> argparse.ArgumentParser:
         "(registry name; default auto pairs greedy-dynamic with the "
         "tiled engine and sets with pairs; parallel-list runs "
         "round-synchronous rounds on the worker pool)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None, dest="checkpoint_dir",
+        metavar="DIR",
+        help="write atomic snapshots of Picasso iteration state into "
+        "DIR (every --checkpoint-every iterations); a killed run "
+        "restarted with --resume finishes bit-identical to an "
+        "uninterrupted one",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        dest="checkpoint_every", metavar="K",
+        help="snapshot cadence in iterations (default 1)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest valid checkpoint in "
+        "--checkpoint-dir (fresh start when none exists)",
+    )
+    p.add_argument(
+        "--failover", default=None, metavar="CHAIN",
+        help="supervised backend degradation chain, e.g. 'pool,serial' "
+        "(entries: cluster|pool|serial); bounded worker failures are "
+        "retried with backoff, then the run fails over down the chain "
+        "— recovery never changes the coloring",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=None, dest="max_retries",
+        metavar="N",
+        help="bounded-failure retries per backend per sweep before "
+        "failing over (default REPRO_MAX_RETRIES=2; setting this "
+        "enables supervision even without --failover)",
     )
     p.add_argument("--validate", action="store_true")
     p.add_argument("--output", "-o", default=None, help="write per-vertex colors")

@@ -106,6 +106,37 @@ class PicassoParams:
     transport:
         Wire protocol for the distributed backend; ``"socket"`` (the
         length-prefixed raw-buffer protocol) is the only one today.
+    checkpoint_dir:
+        Directory for atomic snapshots of Algorithm 1 state
+        (:mod:`repro.resilience.checkpoint`).  ``None`` (default)
+        disables checkpointing.  Snapshots are written at the bottom of
+        every ``checkpoint_every``-th iteration; a killed run restarted
+        with ``resume=True`` picks up from the newest valid snapshot
+        and finishes **bit-identical per seed** to an uninterrupted
+        run — on any backend, since the fingerprint deliberately
+        excludes execution knobs.
+    checkpoint_every:
+        Snapshot cadence in iterations (1 = every iteration).
+    resume:
+        Start from the newest valid checkpoint in ``checkpoint_dir``
+        instead of from scratch (no-op when the directory has none —
+        a fresh run that crashes early can always be relaunched with
+        the same flags).
+    failover:
+        Backend degradation chain for the supervisor
+        (:mod:`repro.resilience.supervisor`): a comma-separated string
+        or tuple of ``"cluster" | "pool" | "serial"``, tried in order
+        after the current backend exhausts its retries (canonically
+        ``executor="cluster"`` with ``failover="pool,serial"``).
+        ``None`` disables failover; setting it (or ``max_retries``)
+        turns supervision on, which also enables shard redistribution
+        on cluster backends.  Recovery is invisible in the output:
+        retried, redistributed and failed-over runs are bit-identical
+        per seed.
+    max_retries:
+        Bounded-failure retries per backend per sweep before failing
+        over (or raising); ``None`` defers to ``REPRO_MAX_RETRIES``
+        (default 2) when supervision is on.
     """
 
     palette_fraction: float = 0.125
@@ -125,6 +156,11 @@ class PicassoParams:
     color_max_rounds: int | None = None
     hosts: str | tuple | None = None
     transport: str = "socket"
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
+    failover: str | tuple | None = None
+    max_retries: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.palette_fraction <= 1.0:
@@ -165,6 +201,24 @@ class PicassoParams:
             )
         if self.color_max_rounds is not None and self.color_max_rounds < 1:
             raise ValueError("color_max_rounds must be >= 1 or None")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+        if self.failover is not None:
+            # Fail on a malformed chain here, not after the first crash
+            # (when the operator can no longer fix the spelling).
+            from repro.resilience.supervisor import _parse_chain
+
+            _parse_chain(self.failover)
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0 or None")
+
+    @property
+    def supervised(self) -> bool:
+        """True when the run should wrap its executor in the
+        retry/failover supervisor."""
+        return self.failover is not None or self.max_retries is not None
 
     def palette_size(self, n_active: int) -> int:
         """``P_l`` for the current subproblem size."""

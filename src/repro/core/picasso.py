@@ -29,8 +29,16 @@ from repro.device.csr_build import build_conflict_csr
 from repro.device.sim import DeviceSim
 from repro.graphs.csr import CSRGraph
 from repro.graphs.ops import induced_subgraph
-from repro.parallel.executor import make_executor
 from repro.pauli.strings import PauliSet
+from repro.resilience.checkpoint import (
+    PicassoCheckpoint,
+    checkpoint_fingerprint,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.faults import fault_point
+from repro.resilience.supervisor import supervised_executor
 from repro.util.chunking import num_pairs
 from repro.util.rng import as_generator
 
@@ -142,10 +150,14 @@ class Picasso:
         # indices) — workers derive the iteration's subset oracle
         # locally.  We created the executor from a spec, so we own it:
         # the ``finally`` below closes it (worker processes are not
-        # leaked on success *or* on a non-convergence raise).
-        executor = make_executor(
+        # leaked on success *or* on a non-convergence raise).  With
+        # ``failover``/``max_retries`` set, the backend comes back
+        # wrapped in the retry/failover supervisor — same contract,
+        # same results, bounded failures recovered instead of raised.
+        executor = supervised_executor(
             params.executor, params.n_workers, pin=params.pin_workers,
             hosts=params.hosts, transport=params.transport,
+            failover=params.failover, max_retries=params.max_retries,
         )
         try:
             return self._color_source_with(source, executor)
@@ -170,8 +182,37 @@ class Picasso:
         palette_fraction = params.palette_fraction
         iterations: list[IterationStats] = []
         peak_bytes = 0
+        start_iteration = 1
 
-        for it in range(1, params.max_iterations + 1):
+        ckpt_dir = params.checkpoint_dir
+        fingerprint = (
+            checkpoint_fingerprint(params, n_total) if ckpt_dir else None
+        )
+        if params.resume and ckpt_dir:
+            path = latest_checkpoint(ckpt_dir, fingerprint)
+            if path is not None:
+                # Restore the committed state *and* the RNG stream:
+                # the next iteration draws the same candidate lists an
+                # uninterrupted run would have, so the resumed tail —
+                # and therefore the final coloring — is bit-identical
+                # per seed.  The active set is stored as global ids, so
+                # the subset is taken from the root source (subset
+                # composition makes that equal to the chain of
+                # per-iteration subsets the original run held).
+                ck = load_checkpoint(path, fingerprint)
+                colors = ck.colors
+                active = ck.active
+                active_source = (
+                    source.subset(active) if len(active) < n_total else source
+                )
+                base_color = ck.base_color
+                palette_fraction = ck.palette_fraction
+                self.rng.bit_generator.state = ck.rng_state
+                iterations = list(ck.iterations)
+                peak_bytes = ck.peak_bytes
+                start_iteration = ck.iteration + 1
+
+        for it in range(start_iteration, params.max_iterations + 1):
             n = len(active)
             if n == 0:
                 break
@@ -314,10 +355,30 @@ class Picasso:
             # Line 11: recurse on the uncolored subproblem.
             active = active[vu_local]
             active_source = active_source.subset(vu_local)
+            if ckpt_dir and it % params.checkpoint_every == 0:
+                # Snapshot the *post-iteration* committed state — the
+                # exact tuple the resume path restores above.
+                save_checkpoint(
+                    ckpt_dir,
+                    PicassoCheckpoint(
+                        iteration=it,
+                        colors=colors,
+                        active=active,
+                        base_color=base_color,
+                        palette_fraction=palette_fraction,
+                        rng_state=self.rng.bit_generator.state,
+                        fingerprint=fingerprint,
+                        peak_bytes=int(peak_bytes),
+                        iterations=iterations,
+                    ),
+                )
+            fault_point("iteration")
         else:
-            raise RuntimeError(
-                f"Picasso did not converge in {params.max_iterations} iterations"
-            )
+            if len(active):
+                raise RuntimeError(
+                    f"Picasso did not converge in "
+                    f"{params.max_iterations} iterations"
+                )
 
         elapsed = time.perf_counter() - t_start
         return PicassoResult(

@@ -43,6 +43,7 @@ are a host resource owned by whoever started them (the
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable, Iterator, Sequence
 
 from repro.distributed.transport import (
@@ -53,7 +54,7 @@ from repro.distributed.transport import (
     connect,
     parse_hosts,
 )
-from repro.parallel.executor import Executor, token_channel
+from repro.parallel.executor import Executor, WorkerFailure, token_channel
 
 __all__ = ["ClusterExecutor", "make_cluster_executor"]
 
@@ -70,6 +71,17 @@ class ClusterExecutor(Executor):
         Per-operation bounds; default to the pool's env-overridable
         ``REPRO_BROADCAST_TIMEOUT_S`` / ``REPRO_RESULT_TIMEOUT_S``
         knobs.
+    redistribute:
+        When an agent dies mid-sweep, re-deal its unfinished strips to
+        the surviving agents and finish the sweep on them — instead of
+        recycling the whole connection set and raising.  Off by
+        default: without a supervisor (or an operator opting in) a
+        death should stay loud.  The re-deal preserves canonical task
+        order (results are buffered and yielded strictly in task
+        order), so a sweep that lost an agent produces the
+        bit-identical chunk stream.  After the sweep, the executor
+        compacts itself to the survivors: later sweeps shard across
+        what is actually alive.
     """
 
     supports_payload_cache = True
@@ -80,8 +92,10 @@ class ClusterExecutor(Executor):
         connect_timeout_s: float | None = None,
         broadcast_timeout_s: float | None = None,
         result_timeout_s: float | None = None,
+        redistribute: bool = False,
     ) -> None:
         super().__init__()
+        self.redistribute = redistribute
         self.hosts = parse_hosts(hosts)
         self.n_workers = len(self.hosts)
         self.connect_timeout_s = (
@@ -171,7 +185,7 @@ class ClusterExecutor(Executor):
             replies = [c.recv(self.broadcast_timeout_s) for c in conns]
         except TransportError as exc:
             self._recycle()
-            raise RuntimeError(
+            raise WorkerFailure(
                 f"payload broadcast failed ({exc}) — a cluster worker "
                 "likely died mid-install; the connections have been "
                 "recycled"
@@ -197,7 +211,7 @@ class ClusterExecutor(Executor):
                 try:
                     msg = conn.recv(self.result_timeout_s)
                 except TransportError as exc:
-                    raise RuntimeError(
+                    raise WorkerFailure(
                         f"no result from shard {k % n} "
                         f"({self.hosts[k % n][0]}:{self.hosts[k % n][1]}) "
                         f"within {self.result_timeout_s:.0f}s ({exc}) — a "
@@ -215,6 +229,117 @@ class ClusterExecutor(Executor):
                 # iterator; drop the connections (agents abort their
                 # task loops on the closed sockets) and start clean.
                 self._recycle()
+
+    # -- shard redistribution -------------------------------------------
+
+    def _compact(self, dead: set) -> None:
+        """Shrink to the surviving shards after a redistributed sweep.
+
+        Connections, hosts and the recorded per-channel incarnation
+        lists all drop the dead indices in lockstep, so
+        :meth:`holds_token` keeps answering True for the survivors —
+        the next sweep ships only its delta to agents that really do
+        still hold the static payload."""
+        alive = [i for i in range(len(self._conns)) if i not in dead]
+        before = len(self._conns)
+        self._conns = [self._conns[i] for i in alive]
+        self.hosts = tuple(self.hosts[i] for i in alive)
+        self.n_workers = len(self._conns)
+        for channel, incs in list(self._token_incarnations.items()):
+            if incs is not None and len(incs) == before:
+                self._token_incarnations[channel] = [incs[i] for i in alive]
+
+    def _redistribute_dead(
+        self, first_dead: int, tasks, task_fn, emissions, owner, dead
+    ) -> None:
+        """Re-deal a dead shard's unfinished strips to the survivors.
+
+        An agent processes RPCs sequentially, so an ``imap`` op sent to
+        a busy survivor queues in its socket and runs *after* its
+        current emissions — a survivor's emission order is therefore
+        its remaining deque plus whatever this re-deal appends, which
+        the ``owner``/``emissions`` bookkeeping records exactly.  A
+        survivor that dies while being handed work just joins the queue
+        (its whole pending set, old and new, is re-dealt in turn); when
+        no survivor remains the sweep is unrecoverable here and
+        surfaces the classic bounded error for the supervisor."""
+        conns = self._conns
+        queue = [first_dead]
+        while queue:
+            c = queue.pop()
+            if c not in dead:
+                dead.add(c)
+                conns[c].close()
+            pending = list(emissions[c])
+            emissions[c].clear()
+            survivors = [i for i in range(len(conns)) if i not in dead]
+            if not survivors:
+                raise WorkerFailure(
+                    "every cluster shard died mid-strip — no survivor "
+                    "left to redistribute to; the connections have "
+                    "been recycled"
+                ) from None
+            if not pending:
+                continue
+            # Round-robin over the survivors, in canonical index
+            # order — deterministic, though any assignment would do:
+            # order is restored dispatcher-side from ``owner``.
+            assign: dict[int, list[int]] = {s: [] for s in survivors}
+            for j, idx in enumerate(pending):
+                assign[survivors[j % len(survivors)]].append(idx)
+            for s, idxs in assign.items():
+                if not idxs:
+                    continue
+                emissions[s].extend(idxs)
+                for i in idxs:
+                    owner[i] = s
+                try:
+                    conns[s].send(
+                        {
+                            "op": "imap",
+                            "fn": task_fn,
+                            "tasks": [tasks[i] for i in idxs],
+                        },
+                        self.broadcast_timeout_s,
+                    )
+                except TransportError:
+                    if s not in queue:
+                        queue.append(s)
+
+    def _stream_redistributing(self, tasks, task_fn) -> Iterator:
+        """Result stream that survives shard deaths: results are
+        buffered out of emission order and yielded strictly in task
+        order, so the chunk stream is bit-identical whether or not an
+        agent died."""
+        conns = self._conns
+        n = len(conns)
+        emissions = [deque(range(c, len(tasks), n)) for c in range(n)]
+        owner = {idx: c for c in range(n) for idx in emissions[c]}
+        dead: set = set()
+        buffered: dict = {}
+        done = False
+        try:
+            for k in range(len(tasks)):
+                while k not in buffered:
+                    c = owner[k]
+                    try:
+                        msg = conns[c].recv(self.result_timeout_s)
+                    except TransportError:
+                        self._redistribute_dead(
+                            c, tasks, task_fn, emissions, owner, dead
+                        )
+                        continue
+                    if not msg.get("ok"):
+                        raise msg["error"]
+                    buffered[emissions[c].popleft()] = msg["result"]
+                yield buffered.pop(k)
+            done = True
+        finally:
+            self._streaming = False
+            if not done:
+                self._recycle()
+            elif dead:
+                self._compact(dead)
 
     # -- Executor contract ----------------------------------------------
 
@@ -259,11 +384,13 @@ class ClusterExecutor(Executor):
                     )
         except TransportError as exc:
             self._recycle()
-            raise RuntimeError(
+            raise WorkerFailure(
                 f"task dispatch failed ({exc}) — a cluster worker died; "
                 "the connections have been recycled"
             ) from None
         self._streaming = True
+        if self.redistribute:
+            return self._stream_redistributing(tasks, task_fn)
         return self._stream(len(tasks))
 
     def finalize(self, fn: Callable, payload: tuple = ()) -> None:

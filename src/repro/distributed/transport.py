@@ -54,6 +54,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "TransportError",
     "HandshakeError",
+    "TransportVersionError",
     "Connection",
     "connect",
     "send_msg",
@@ -82,6 +83,27 @@ class TransportError(RuntimeError):
 
 class HandshakeError(TransportError):
     """The peer answered the handshake with the wrong magic/version."""
+
+
+class TransportVersionError(HandshakeError):
+    """The peer is a repro worker agent, but speaks a different
+    protocol version — a build-skew error, not a wiring error, so it
+    gets its own type (and carries both versions) for callers that want
+    to report "upgrade one side" rather than "check your hosts list".
+    """
+
+    def __init__(self, peer_version, local_version) -> None:
+        super().__init__(
+            f"protocol version mismatch: peer speaks {peer_version!r}, "
+            f"this build speaks {local_version!r} — upgrade one side"
+        )
+        self.peer_version = peer_version
+        self.local_version = local_version
+
+    def __reduce__(self):
+        # Default exception pickling would replay the formatted message
+        # into the two-argument constructor; rebuild from the versions.
+        return (TransportVersionError, (self.peer_version, self.local_version))
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytearray:
@@ -239,11 +261,7 @@ def check_hello(hello) -> dict:
     if not isinstance(hello, dict) or hello.get("magic") != MAGIC:
         raise HandshakeError(f"peer is not a repro worker agent: {hello!r}")
     if hello.get("version") != PROTOCOL_VERSION:
-        raise HandshakeError(
-            f"protocol version mismatch: peer speaks "
-            f"{hello.get('version')!r}, this build speaks "
-            f"{PROTOCOL_VERSION} — upgrade one side"
-        )
+        raise TransportVersionError(hello.get("version"), PROTOCOL_VERSION)
     return hello
 
 
@@ -291,4 +309,13 @@ def parse_hosts(hosts) -> tuple[tuple[str, int], ...]:
             out.append((str(host), int(port)))
     if not out:
         raise ValueError("empty hosts list")
+    seen = set()
+    for host, port in out:
+        if (host, port) in seen:
+            raise ValueError(
+                f"duplicate host {host}:{port} in hosts list — each entry "
+                "is one shard, so a repeated address would double-deal "
+                "tasks to the same agent (and double-count it as a worker)"
+            )
+        seen.add((host, port))
     return tuple(out)

@@ -158,9 +158,18 @@ class WorkerAgent:
         send_msg(sock, server_hello(self.incarnation))
         check_hello(recv_msg(sock))
         conn = Connection(sock)
-        while True:
-            msg = recv_msg(sock, _IDLE)
-            self._handle(conn, msg)
+        # The resilience suite's "drop" fault severs *this* connection
+        # (mid-stream, deterministically) instead of killing the whole
+        # agent; a no-op unless a fault is armed.
+        from repro.resilience.faults import register_connection
+
+        register_connection(conn)
+        try:
+            while True:
+                msg = recv_msg(sock, _IDLE)
+                self._handle(conn, msg)
+        finally:
+            register_connection(None)
 
     def serve_forever(self) -> None:
         """Accept loop: one connection served to completion at a time.

@@ -49,12 +49,24 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "PoolExecutor",
+    "WorkerFailure",
     "make_executor",
     "owned_executor",
     "default_start_method",
     "pin_current_worker",
     "token_channel",
 ]
+
+
+class WorkerFailure(RuntimeError):
+    """A worker (pool process or cluster agent) died or wedged past its
+    bound mid-operation.  The backend has already recycled itself when
+    this is raised, so the failure is mechanically recoverable: the
+    same operation resubmitted on the (fresh) backend — or on a
+    fallback one — produces the identical remaining results, which is
+    what :class:`repro.resilience.supervisor.ResilientExecutor` does.
+    Subclasses ``RuntimeError`` so pre-supervision callers that caught
+    the generic error keep working."""
 
 #: Seconds a worker waits at the install barrier before declaring the
 #: broadcast broken (a worker died mid-install) instead of hanging.
@@ -423,7 +435,7 @@ class PoolExecutor(Executor):
             result.get(BROADCAST_TIMEOUT_S + 30.0)
         except mp.TimeoutError:
             self._recycle()
-            raise RuntimeError(
+            raise WorkerFailure(
                 "payload broadcast timed out — a pool worker likely died "
                 "mid-install; the pool has been recycled"
             ) from None
@@ -449,7 +461,7 @@ class PoolExecutor(Executor):
                     # Same failure mode the install broadcast guards
                     # against: a worker killed mid-strip never reports
                     # and the task is never re-issued.
-                    raise RuntimeError(
+                    raise WorkerFailure(
                         f"no sweep result within {RESULT_TIMEOUT_S:.0f}s — "
                         "a pool worker likely died mid-strip; the pool "
                         "has been recycled"

@@ -78,6 +78,7 @@ from repro.parallel.shm import (
     write_strip_hits,
 )
 from repro.pauli.anticommute import AnticommuteOracle
+from repro.resilience.faults import fault_point
 from repro.util.chunking import pair_index_to_ij
 
 __all__ = [
@@ -206,7 +207,17 @@ def imap_delta_install(
     wins), so both count as the respawn race — but only for a
     delta-only install; a failure on a *full* install is a real error
     and propagates.
+
+    A supervised executor
+    (:class:`repro.resilience.supervisor.ResilientExecutor`) exposes
+    ``imap_with_payload`` and takes over the whole protocol — it must
+    re-materialize the payload on *every* retry/failover, not just
+    once, so the delta decision is made against whichever backend is
+    current.
     """
+    supervised = getattr(executor, "imap_with_payload", None)
+    if supervised is not None:
+        return supervised(task_fn, tasks, initializer, make_payload)
     payload, token, is_full = make_payload(False)
     try:
         return executor.imap(
@@ -290,6 +301,7 @@ def teardown_sweep_worker() -> None:
 
 def _run_tile_strip(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
     """Worker task: fused conflict kernel over one strip of tiles."""
+    fault_point("task")
     start, stop = task
     return conflict_hits_strip(
         _WORKER["colmasks"],
@@ -304,6 +316,7 @@ def _run_pair_range(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
     """Worker task: gather-engine conflict scan of one flat pair range."""
     from repro.device.kernels import conflict_pair_kernel
 
+    fault_point("task")
     start, stop = task
     n = _WORKER["n"]
     chunk = _WORKER["chunk_size"]

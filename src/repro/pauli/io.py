@@ -15,19 +15,45 @@ import numpy as np
 from repro.pauli.strings import PauliSet
 
 
-def save_pauli_set(pauli_set: PauliSet, path: str | os.PathLike) -> None:
-    """Write a :class:`PauliSet` to a text file."""
+def _write_pauli_text(pauli_set: PauliSet, fh) -> None:
+    """Serialize into an open text handle (the format body)."""
     strings = pauli_set.to_strings()
-    with open(path, "w", encoding="utf-8") as fh:
-        if pauli_set.name:
-            fh.write(f"# name: {pauli_set.name}\n")
-        fh.write(f"# n={pauli_set.n} n_qubits={pauli_set.n_qubits}\n")
-        if pauli_set.coefficients is None:
-            fh.write("\n".join(strings))
-            fh.write("\n")
-        else:
-            for s, c in zip(strings, pauli_set.coefficients):
-                fh.write(f"{s} {complex(c)}\n")
+    if pauli_set.name:
+        fh.write(f"# name: {pauli_set.name}\n")
+    fh.write(f"# n={pauli_set.n} n_qubits={pauli_set.n_qubits}\n")
+    if pauli_set.coefficients is None:
+        fh.write("\n".join(strings))
+        fh.write("\n")
+    else:
+        for s, c in zip(strings, pauli_set.coefficients):
+            fh.write(f"{s} {complex(c)}\n")
+
+
+def save_pauli_set(pauli_set: PauliSet, path: str | os.PathLike) -> None:
+    """Write a :class:`PauliSet` to a text file, atomically.
+
+    The text is written to a temp file in the target directory, fsynced
+    and ``os.replace``d into place — a run killed mid-write leaves
+    either the previous file untouched or the new one complete, never a
+    truncated Pauli set that a later run would silently load short.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    tmp = os.path.join(
+        directory, f".tmp-{os.getpid()}-{os.path.basename(path)}"
+    )
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            _write_pauli_text(pauli_set, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_pauli_set(path: str | os.PathLike) -> PauliSet:

@@ -1,0 +1,63 @@
+"""Fault tolerance: checkpoint/resume, supervised retry/failover,
+deterministic fault injection.
+
+Three layers, one invariant — recovery never changes the answer:
+
+- :mod:`repro.resilience.checkpoint` — atomic, CRC-guarded snapshots
+  of Picasso iteration state; a resumed run is bit-identical per seed
+  to an uninterrupted one.
+- :mod:`repro.resilience.supervisor` — :class:`ResilientExecutor`,
+  wrapping any backend with capped-backoff retry and cluster → pool →
+  serial failover; spliced result streams equal uninterrupted ones.
+- :mod:`repro.resilience.faults` — counted, named fault points for
+  deterministic crash testing (the same kill lands on the same strip
+  every run).
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    PicassoCheckpoint,
+    checkpoint_fingerprint,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultSpec,
+    clear_faults,
+    fault_point,
+    faulty_task,
+    install_fault,
+)
+
+# The supervisor is resolved lazily (PEP 562): it imports the executor
+# stack, and the executor stack's task functions import the fault
+# points from this package — an eager import here would close that
+# cycle before repro.parallel.pool finished defining its names.
+_SUPERVISOR_NAMES = ("ResilientExecutor", "supervised_executor")
+
+
+def __getattr__(name):
+    if name in _SUPERVISOR_NAMES:
+        from repro.resilience import supervisor
+
+        return getattr(supervisor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CheckpointError",
+    "PicassoCheckpoint",
+    "checkpoint_fingerprint",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "FaultInjected",
+    "FaultSpec",
+    "clear_faults",
+    "fault_point",
+    "faulty_task",
+    "install_fault",
+    "ResilientExecutor",
+    "supervised_executor",
+]

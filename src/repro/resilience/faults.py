@@ -1,0 +1,237 @@
+"""Deterministic fault injection for the resilience test suite.
+
+Crash testing with ``sleep``-and-``SIGKILL`` races is flaky by
+construction: the kill lands wherever the scheduler put the victim.
+This module replaces the race with *counted fault points* — named sites
+in the library (the bottom of each Picasso iteration, the top of each
+sweep strip task) call :func:`fault_point`, which is a no-op until a
+:class:`FaultSpec` is armed, and triggers the spec's fault on exactly
+the ``after``-th hit of its site.  The same crash then lands on the
+same strip/iteration in every run, which is what lets the checkpoint
+and failover tests assert *bit-identical* recovery rather than "it
+eventually finished".
+
+Faults are armed two ways:
+
+- :func:`install_fault` — in-process, for tests that own the process;
+- the ``REPRO_FAULT`` environment variable
+  (``kind:site:after[:seconds]``, e.g. ``kill:iteration:2``), read once
+  per process on the first :func:`fault_point` hit — which is how a
+  fault reaches spawned pool workers, cluster agents and the CLI smoke
+  test without any code handles.
+
+Kinds
+-----
+- ``kill``  — ``SIGKILL`` the calling process (no cleanup, no flush:
+  the crash the checkpoint format must survive).
+- ``delay`` — sleep ``seconds`` at the site (wedged-worker simulation).
+- ``error`` — raise :class:`FaultInjected` (an in-process crash that
+  unwinds normally; what the resume tests use when the dying process is
+  the test itself).
+- ``drop``  — close the serving transport connection registered via
+  :func:`register_connection` (cluster agents register theirs), so the
+  dispatcher sees a reset mid-stream; falls back to ``kill`` when no
+  connection is registered.
+
+Two guards make multi-process injection deterministic instead of
+viral:
+
+- ``spare_pid`` (env ``REPRO_FAULT_SPARE_PID``) — the fault never
+  triggers in that process; set it to the dispatcher's pid so a
+  ``kill:task`` spec murders workers, not the test.
+- ``once_path`` (env ``REPRO_FAULT_ONCE``) — a sentinel file created
+  with ``O_EXCL`` on first trigger; once it exists the fault is spent
+  in *every* process.  Without it, a task-site kill re-delivered to a
+  surviving shard by redistribution would kill the survivor too.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultSpec",
+    "FaultInjected",
+    "fault_point",
+    "install_fault",
+    "clear_faults",
+    "register_connection",
+    "faulty_task",
+]
+
+
+class FaultInjected(RuntimeError):
+    """The ``error`` fault kind: a deterministic, catchable crash."""
+
+
+_KINDS = ("kill", "delay", "error", "drop")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: trigger ``kind`` on hit number ``after`` of
+    ``site`` (1-based, counted per process)."""
+
+    kind: str
+    site: str = "task"
+    after: int = 1
+    seconds: float = 0.0
+    once_path: str | None = None
+    spare_pid: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (have {_KINDS})")
+        if self.after < 1:
+            raise ValueError("after must be >= 1")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """``kind:site:after[:seconds]`` — the ``REPRO_FAULT`` format."""
+        parts = text.split(":")
+        if len(parts) < 3:
+            raise ValueError(
+                f"REPRO_FAULT {text!r} is not of the form kind:site:after"
+            )
+        kind, site, after = parts[0], parts[1], int(parts[2])
+        seconds = float(parts[3]) if len(parts) > 3 else 0.0
+        spare = os.environ.get("REPRO_FAULT_SPARE_PID")
+        return cls(
+            kind=kind,
+            site=site,
+            after=after,
+            seconds=seconds,
+            once_path=os.environ.get("REPRO_FAULT_ONCE") or None,
+            spare_pid=int(spare) if spare else None,
+        )
+
+
+#: Armed specs and per-(site, spec) hit counters — process-local by
+#: design: every *process* (spawned worker, forked worker, agent) arms
+#: from the environment on its first hit and counts from zero, so the
+#: same spec lands on the same strip in every worker regardless of
+#: start method.
+_ACTIVE: list[FaultSpec] = []
+_COUNTS: dict = {}
+#: The environment-armed spec and the pid it was read in.  Keyed by pid
+#: rather than a boolean so a *forked* child (which inherits the
+#: parent's module state, flag and all) still re-reads the environment
+#: and restarts its counters — exactly like a spawned child does by
+#: re-importing the module.
+_ENV_SPEC: FaultSpec | None = None
+_ENV_PID: int | None = None
+
+#: The serving connection a cluster agent registered for ``drop``.
+_CONNECTION = None
+
+
+def install_fault(spec: FaultSpec) -> None:
+    """Arm a fault in this process (tests that own the process)."""
+    _ACTIVE.append(spec)
+
+
+def clear_faults() -> None:
+    """Disarm everything and reset counters (test teardown).  Pins the
+    environment as read-and-empty for this process: a test that cleared
+    faults does not want ``REPRO_FAULT`` re-arming them on the next
+    hit."""
+    global _ENV_SPEC, _ENV_PID
+    _ACTIVE.clear()
+    _COUNTS.clear()
+    _ENV_SPEC = None
+    _ENV_PID = os.getpid()
+
+
+def register_connection(conn) -> None:
+    """Register the transport connection ``drop`` should sever
+    (anything with a ``close()``); ``None`` unregisters."""
+    global _CONNECTION
+    _CONNECTION = conn
+
+
+def _sync_env() -> None:
+    """Arm from ``REPRO_FAULT`` on the first hit *in this process* —
+    including a fork child whose inherited state says some other pid
+    already loaded.  Counters restart with the process."""
+    global _ENV_SPEC, _ENV_PID
+    pid = os.getpid()
+    if _ENV_PID == pid:
+        return
+    _ENV_PID = pid
+    _COUNTS.clear()
+    text = os.environ.get("REPRO_FAULT")
+    _ENV_SPEC = FaultSpec.parse(text) if text else None
+
+
+def _spent(spec: FaultSpec) -> bool:
+    """True when the once-guard says some process already triggered."""
+    if spec.once_path is None:
+        return False
+    try:
+        fd = os.open(spec.once_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return True
+    os.close(fd)
+    return False
+
+
+def _trigger(spec: FaultSpec) -> None:
+    if spec.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif spec.kind == "delay":
+        time.sleep(spec.seconds)
+    elif spec.kind == "drop":
+        conn = _CONNECTION
+        if conn is not None:
+            conn.close()
+        else:
+            os.kill(os.getpid(), signal.SIGKILL)
+    else:
+        raise FaultInjected(
+            f"injected fault at site {spec.site!r} (hit {spec.after})"
+        )
+
+
+def fault_point(site: str) -> None:
+    """Hit a named fault site.  Near-free until a spec targeting
+    ``site`` is armed (a pid check and two truthiness checks)."""
+    _sync_env()
+    if not _ACTIVE and _ENV_SPEC is None:
+        return
+    armed: list = list(enumerate(_ACTIVE))
+    if _ENV_SPEC is not None:
+        armed.append(("env", _ENV_SPEC))
+    for k, spec in armed:
+        if spec.site != site:
+            continue
+        key = (site, k)
+        count = _COUNTS.get(key, 0) + 1
+        _COUNTS[key] = count
+        if count != spec.after:
+            continue
+        if spec.spare_pid is not None and os.getpid() == spec.spare_pid:
+            continue
+        if _spent(spec):
+            continue
+        _trigger(spec)
+
+
+class faulty_task:
+    """Picklable task-function wrapper hitting ``task`` (or a custom
+    site) before each call — instruments *any* task fn shipped to a
+    worker without touching the library's own dispatch path."""
+
+    def __init__(self, fn, spec: FaultSpec | None = None) -> None:
+        self.fn = fn
+        self.spec = spec
+
+    def __call__(self, task):
+        if self.spec is not None and self.spec not in _ACTIVE:
+            # Arrived by pickle into a fresh worker: arm locally so the
+            # per-process counters exist.
+            install_fault(self.spec)
+        fault_point(self.spec.site if self.spec is not None else "task")
+        return self.fn(task)

@@ -26,7 +26,7 @@ from repro.core.params import PicassoParams
 from repro.device.kernels import lists_intersect_kernel
 from repro.graphs.csr import from_edge_list
 from repro.graphs.ops import induced_subgraph
-from repro.parallel.executor import owned_executor
+from repro.resilience.supervisor import supervised_executor
 from repro.util.rng import as_generator
 
 
@@ -63,11 +63,19 @@ def semi_streaming_color(
     color_engine = get_engine(
         params.resolved_color_engine(), **params.color_engine_knobs()
     )
-    with owned_executor(
+    # ``failover``/``max_retries`` wrap the backend in the
+    # retry/failover supervisor, exactly as in the in-memory driver;
+    # without them this is plain make_executor.  Spec-created either
+    # way, so this function owns and closes it.
+    executor = supervised_executor(
         params.executor, params.n_workers, pin=params.pin_workers,
         hosts=params.hosts, transport=params.transport,
-    ) as executor:
+        failover=params.failover, max_retries=params.max_retries,
+    )
+    try:
         return _semi_streaming_color(stream, params, rng, color_engine, executor)
+    finally:
+        executor.close()
 
 
 def _semi_streaming_color(stream, params, rng, color_engine, executor):

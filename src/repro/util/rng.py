@@ -28,3 +28,22 @@ def spawn_generators(
     so parallel workers never share a stream.
     """
     return list(as_generator(seed).spawn(n))
+
+
+def rng_state(gen: np.random.Generator) -> dict:
+    """The bit-generator state of ``gen`` — a plain, picklable dict.
+
+    This is the exact object the checkpoint format persists: restoring
+    it with :func:`set_rng_state` makes the generator emit the
+    identical tail sequence it would have produced uninterrupted, which
+    is the mechanism behind bit-identical resume."""
+    return gen.bit_generator.state
+
+
+def set_rng_state(gen: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore a state captured by :func:`rng_state`; returns ``gen``.
+
+    The state dict names its bit-generator class, and numpy refuses a
+    mismatch — a PCG64 state cannot be poured into an MT19937."""
+    gen.bit_generator.state = state
+    return gen

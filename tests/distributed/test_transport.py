@@ -10,6 +10,7 @@ from repro.distributed.transport import (
     PROTOCOL_VERSION,
     HandshakeError,
     TransportError,
+    TransportVersionError,
     check_hello,
     parse_hosts,
     recv_msg,
@@ -137,6 +138,32 @@ class TestHandshake:
         with pytest.raises(HandshakeError, match="version mismatch"):
             check_hello(bad)
 
+    def test_version_mismatch_is_typed_and_names_both_sides(self):
+        """The satellite: a typed error carrying both protocol
+        versions, so an operator sees *which* side is stale."""
+        bad = {"magic": MAGIC, "version": PROTOCOL_VERSION + 3}
+        with pytest.raises(TransportVersionError) as info:
+            check_hello(bad)
+        exc = info.value
+        assert exc.peer_version == PROTOCOL_VERSION + 3
+        assert exc.local_version == PROTOCOL_VERSION
+        assert str(PROTOCOL_VERSION + 3) in str(exc)
+        assert str(PROTOCOL_VERSION) in str(exc)
+        assert "upgrade" in str(exc)
+
+    def test_version_error_survives_pickling(self):
+        """Exceptions cross the wire pickled; the two-arg constructor
+        must round-trip (the default reduce would replay the formatted
+        message into it)."""
+        import pickle
+
+        exc = TransportVersionError(9, PROTOCOL_VERSION)
+        back = pickle.loads(pickle.dumps(exc))
+        assert isinstance(back, TransportVersionError)
+        assert back.peer_version == 9
+        assert back.local_version == PROTOCOL_VERSION
+        assert str(back) == str(exc)
+
     def test_non_agent_peer_raises(self):
         with pytest.raises(HandshakeError, match="not a repro worker"):
             check_hello({"hello": "world"})
@@ -161,3 +188,13 @@ class TestParseHosts:
             parse_hosts("")
         with pytest.raises(ValueError):
             parse_hosts("a:notaport")
+
+    def test_duplicate_host_port_rejected(self):
+        """The satellite: a repeated address would double-deal tasks to
+        one agent and double-count it as a worker."""
+        with pytest.raises(ValueError, match="duplicate host a:1"):
+            parse_hosts("a:1,b:2,a:1")
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_hosts([("h", 7), "h:7"])
+        # Same host, different ports: two shards on one box is fine.
+        assert parse_hosts("h:1,h:2") == (("h", 1), ("h", 2))

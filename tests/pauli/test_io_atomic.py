@@ -1,0 +1,71 @@
+"""Atomicity of :func:`repro.pauli.io.save_pauli_set`: a writer killed
+mid-write must never leave a truncated file where a good one stood."""
+
+import os
+
+import pytest
+
+from repro.pauli import load_pauli_set, random_pauli_set, save_pauli_set
+from repro.pauli import io as pauli_io
+
+
+class _DieMidWrite(BaseException):
+    """Stand-in for SIGKILL: unwinds without running the write to
+    completion (BaseException so even broad handlers cannot eat it)."""
+
+
+def _assert_same(a, b):
+    assert a.to_strings() == b.to_strings()
+
+
+class TestAtomicSave:
+    def test_kill_mid_write_preserves_previous_file(
+        self, tmp_path, monkeypatch
+    ):
+        """The regression: old code opened the target directly, so a
+        crash mid-write truncated it.  Now the previous version must
+        survive byte-for-byte."""
+        path = tmp_path / "terms.txt"
+        first = random_pauli_set(50, 6, seed=0)
+        save_pauli_set(first, path)
+        before = path.read_bytes()
+
+        real = pauli_io._write_pauli_text
+
+        def dies(ps, fh):
+            fh.write("# name: half-written garbage\nXXYZ")
+            raise _DieMidWrite
+
+        monkeypatch.setattr(pauli_io, "_write_pauli_text", dies)
+        with pytest.raises(_DieMidWrite):
+            save_pauli_set(random_pauli_set(50, 6, seed=1), path)
+
+        assert path.read_bytes() == before  # untouched
+        _assert_same(load_pauli_set(path), first)
+        monkeypatch.setattr(pauli_io, "_write_pauli_text", real)
+
+    def test_no_temp_litter_after_crash(self, tmp_path, monkeypatch):
+        path = tmp_path / "terms.txt"
+
+        def dies(ps, fh):
+            raise _DieMidWrite
+
+        monkeypatch.setattr(pauli_io, "_write_pauli_text", dies)
+        with pytest.raises(_DieMidWrite):
+            save_pauli_set(random_pauli_set(10, 4, seed=0), path)
+        assert os.listdir(tmp_path) == []
+
+    def test_fresh_write_roundtrips(self, tmp_path):
+        path = tmp_path / "terms.txt"
+        ps = random_pauli_set(40, 5, seed=2)
+        save_pauli_set(ps, path)
+        _assert_same(load_pauli_set(path), ps)
+        assert [n for n in os.listdir(tmp_path)] == ["terms.txt"]
+
+    def test_relative_path_in_cwd(self, tmp_path, monkeypatch):
+        """dirname('terms.txt') is '' — the temp file must land in the
+        cwd, not at filesystem root."""
+        monkeypatch.chdir(tmp_path)
+        ps = random_pauli_set(10, 4, seed=3)
+        save_pauli_set(ps, "terms.txt")
+        _assert_same(load_pauli_set("terms.txt"), ps)

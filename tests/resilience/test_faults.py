@@ -1,0 +1,102 @@
+"""The fault injector itself: deterministic, counted, guarded."""
+
+import os
+
+import pytest
+
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultSpec,
+    clear_faults,
+    fault_point,
+    install_fault,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+class TestSpecParsing:
+    def test_parse_minimal(self):
+        spec = FaultSpec.parse("kill:iteration:2")
+        assert spec == FaultSpec(kind="kill", site="iteration", after=2)
+
+    def test_parse_with_seconds(self):
+        spec = FaultSpec.parse("delay:task:3:1.5")
+        assert spec.seconds == 1.5
+
+    def test_parse_reads_guard_env(self, monkeypatch, tmp_path):
+        sentinel = str(tmp_path / "once")
+        monkeypatch.setenv("REPRO_FAULT_ONCE", sentinel)
+        monkeypatch.setenv("REPRO_FAULT_SPARE_PID", "123")
+        spec = FaultSpec.parse("error:task:1")
+        assert spec.once_path == sentinel
+        assert spec.spare_pid == 123
+
+    def test_parse_rejects_short_form(self):
+        with pytest.raises(ValueError, match="kind:site:after"):
+            FaultSpec.parse("kill:task")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="explode")
+
+    def test_after_must_be_positive(self):
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec(kind="error", after=0)
+
+
+class TestTriggering:
+    def test_fires_on_exact_hit(self):
+        install_fault(FaultSpec(kind="error", site="s", after=3))
+        fault_point("s")
+        fault_point("s")
+        with pytest.raises(FaultInjected, match="hit 3"):
+            fault_point("s")
+        # Spent: later hits of the site pass clean.
+        fault_point("s")
+
+    def test_other_sites_unaffected(self):
+        install_fault(FaultSpec(kind="error", site="iteration", after=1))
+        for _ in range(5):
+            fault_point("task")
+        with pytest.raises(FaultInjected):
+            fault_point("iteration")
+
+    def test_unarmed_is_noop(self):
+        for _ in range(3):
+            fault_point("anything")
+
+    def test_spare_pid_protects_this_process(self):
+        install_fault(
+            FaultSpec(
+                kind="error", site="s", after=1, spare_pid=os.getpid()
+            )
+        )
+        fault_point("s")  # must not raise: we are the spared dispatcher
+
+    def test_once_guard_spends_across_specs(self, tmp_path):
+        sentinel = str(tmp_path / "once")
+        install_fault(
+            FaultSpec(kind="error", site="s", after=1, once_path=sentinel)
+        )
+        with pytest.raises(FaultInjected):
+            fault_point("s")
+        assert os.path.exists(sentinel)
+        # A second armed spec sharing the sentinel is already spent —
+        # this is what stops a redistributed task from re-killing the
+        # surviving shard.
+        clear_faults()
+        install_fault(
+            FaultSpec(kind="error", site="s", after=1, once_path=sentinel)
+        )
+        fault_point("s")
+
+    def test_clear_faults_blocks_env_rearm(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "error:s:1")
+        clear_faults()
+        fault_point("s")  # env must not re-arm after an explicit clear

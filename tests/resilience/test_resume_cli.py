@@ -1,0 +1,82 @@
+"""End-to-end CLI crash/resume: a run SIGKILLed mid-iteration restarts
+with ``--resume`` and writes the identical coloring."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+)
+
+
+def _cli(args, *, fault=None, tmp_path=None):
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = _SRC + (os.pathsep + existing if existing else "")
+    env.pop("REPRO_FAULT", None)
+    env.pop("REPRO_FAULT_ONCE", None)
+    env.pop("REPRO_FAULT_SPARE_PID", None)
+    if fault:
+        env["REPRO_FAULT"] = fault
+        env["REPRO_FAULT_ONCE"] = str(tmp_path / "once")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def pauli_file(tmp_path_factory):
+    from repro.pauli import random_pauli_set, save_pauli_set
+
+    path = tmp_path_factory.mktemp("input") / "input.txt"
+    save_pauli_set(random_pauli_set(200, 7, seed=1), path)
+    return str(path)
+
+
+class TestCrashResume:
+    def test_sigkill_then_resume_is_bit_identical(
+        self, pauli_file, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        # Uninterrupted reference.
+        ref_out = tmp_path / "ref.txt"
+        proc = _cli(["color", pauli_file, "--output", str(ref_out)])
+        assert proc.returncode == 0, proc.stderr
+
+        # Crashed run: SIGKILL at the end of iteration 2 — no cleanup,
+        # no flush, the honest crash.
+        crash_out = tmp_path / "crash.txt"
+        proc = _cli(
+            [
+                "color", pauli_file, "--checkpoint-dir", str(ckpt),
+                "--output", str(crash_out),
+            ],
+            fault="kill:iteration:2", tmp_path=tmp_path,
+        )
+        assert proc.returncode == -9, (proc.returncode, proc.stderr)
+        assert not crash_out.exists()  # it really died mid-run
+        assert any(
+            n.endswith(".ckpt") for n in os.listdir(ckpt)
+        ), "the crashed run left no checkpoint behind"
+
+        # Resume: picks up from the newest snapshot and finishes.
+        res_out = tmp_path / "resumed.txt"
+        proc = _cli([
+            "color", pauli_file, "--checkpoint-dir", str(ckpt),
+            "--resume", "--output", str(res_out),
+        ])
+        assert proc.returncode == 0, proc.stderr
+        np.testing.assert_array_equal(
+            np.loadtxt(res_out, dtype=np.int64),
+            np.loadtxt(ref_out, dtype=np.int64),
+        )
+
+    def test_resume_flag_requires_checkpoint_dir(self, pauli_file):
+        proc = _cli(["color", pauli_file, "--resume"])
+        assert proc.returncode != 0
+        assert "checkpoint_dir" in proc.stderr
