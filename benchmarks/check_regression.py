@@ -1,0 +1,162 @@
+"""CI quick-bench regression gate.
+
+Compares the headline ``total_s`` of a fresh ``--quick`` bench run
+(``benchmarks/results/BENCH_PR7.quick.json``) against the newest
+committed trajectory file (``BENCH_PR*.json`` at the repo root) and
+fails when any shared row slowed down by more than the threshold
+(default 25%, override via ``REPRO_BENCH_REGRESSION_PCT`` or
+``--threshold-pct``).
+
+Only cases and rows present in *both* reports are compared — a quick
+run carries the ``small`` case only, so the gate measures dispatch and
+per-iteration overhead drift, not 10k-headline throughput.  Cross-
+machine noise is expected; the threshold is deliberately loose and a
+genuinely intended slowdown (e.g. a correctness fix) is waivable by
+putting ``[bench-waiver]`` in the commit message.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --quick
+    python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+QUICK_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_PR7.quick.json"
+
+#: Commit-message tag that turns a failing gate into a warning.
+WAIVER_TAG = "[bench-waiver]"
+
+
+def newest_committed_bench() -> pathlib.Path | None:
+    """Highest-numbered ``BENCH_PR<k>.json`` at the repo root."""
+    best, best_k = None, -1
+    for p in REPO_ROOT.glob("BENCH_PR*.json"):
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", p.name)
+        if m and int(m.group(1)) > best_k:
+            best, best_k = p, int(m.group(1))
+    return best
+
+
+def head_commit_message() -> str:
+    try:
+        return subprocess.run(
+            ["git", "log", "-1", "--format=%B"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout
+    except Exception:
+        return ""
+
+
+def _total_rows(case: dict) -> dict[str, float]:
+    """``row_name -> total_s`` for every config row of one case."""
+    return {
+        k: v["total_s"]
+        for k, v in case.items()
+        if isinstance(v, dict) and "total_s" in v
+    }
+
+
+def compare(new: dict, base: dict, threshold_pct: float) -> list[str]:
+    """Rows slower than ``threshold_pct`` vs the baseline, as messages."""
+    base_cases = {c["name"]: c for c in base.get("cases", [])}
+    regressions = []
+    compared = 0
+    for case in new.get("cases", []):
+        ref = base_cases.get(case["name"])
+        if ref is None:
+            continue
+        ref_rows = _total_rows(ref)
+        for row, total in _total_rows(case).items():
+            ref_total = ref_rows.get(row)
+            if ref_total is None or ref_total <= 0:
+                continue
+            compared += 1
+            pct = 100.0 * (total - ref_total) / ref_total
+            line = (
+                f"{case['name']}/{row}: {ref_total:.3f}s -> {total:.3f}s "
+                f"({pct:+.1f}%)"
+            )
+            if pct > threshold_pct:
+                regressions.append(line)
+            else:
+                print(f"ok   {line}")
+    if compared == 0:
+        print("warning: no shared case/row between reports; nothing gated")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--new", default=str(QUICK_PATH), metavar="PATH",
+        help="fresh quick-bench report (default the --quick output path)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed trajectory file to gate against (default the "
+        "highest-numbered BENCH_PR*.json at the repo root)",
+    )
+    parser.add_argument(
+        "--threshold-pct", type=float,
+        default=float(os.environ.get("REPRO_BENCH_REGRESSION_PCT", "25")),
+        help="allowed slowdown per row (default 25, or "
+        "REPRO_BENCH_REGRESSION_PCT)",
+    )
+    parser.add_argument(
+        "--commit-message", default=None,
+        help=f"commit message to scan for {WAIVER_TAG} (default: git "
+        "log -1)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = (
+        pathlib.Path(args.baseline) if args.baseline
+        else newest_committed_bench()
+    )
+    if baseline is None or not baseline.exists():
+        print("warning: no committed BENCH_PR*.json baseline; skipping gate")
+        return 0
+    new_path = pathlib.Path(args.new)
+    if not new_path.exists():
+        print(f"error: quick report {new_path} not found — run "
+              "benchmarks/run_bench.py --quick first", file=sys.stderr)
+        return 2
+
+    new = json.loads(new_path.read_text())
+    base = json.loads(baseline.read_text())
+    print(f"gating {new_path.name} against {baseline.name} "
+          f"(threshold +{args.threshold_pct:.0f}%)")
+    regressions = compare(new, base, args.threshold_pct)
+    if not regressions:
+        print("no regressions")
+        return 0
+    message = (
+        args.commit_message if args.commit_message is not None
+        else head_commit_message()
+    )
+    for line in regressions:
+        print(f"SLOW {line}", file=sys.stderr)
+    if WAIVER_TAG in message:
+        print(f"waived: commit message carries {WAIVER_TAG}")
+        return 0
+    print(
+        f"error: {len(regressions)} row(s) regressed beyond "
+        f"{args.threshold_pct:.0f}%; waive with {WAIVER_TAG} in the "
+        "commit message if intended",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,16 +35,26 @@ a given seed *within* an engine.  Across engines the group count may
 differ (lowest-bit speculative picks trade a few percent of quality for
 round-parallelism); the delta is recorded, not hidden.
 
-- **checkpointing** (new) — the serial tiled run with an every-
-  iteration snapshot (``checkpoint_dir`` set, ``checkpoint_every=1``,
-  the worst case) against the same run with checkpointing off; the
+- **checkpointing** — the serial tiled run with an every-iteration
+  snapshot (``checkpoint_dir`` set, ``checkpoint_every=1``, the worst
+  case) against the same run with checkpointing off; the
   ``checkpoint_overhead_pct`` metric is the acceptance number (<= 5%
   on the 10k headline) and the checkpointed run participates in the
   bit-identity assertion, since a snapshot that perturbed the
   trajectory would defeat its purpose.
 
-Elapsed seconds land in ``BENCH_PR6.json`` at the repo root; the JSON
-files form the performance trajectory (``BENCH_PR1..5.json`` hold the
+- **fused iterate** (new) — every row above now runs the fused
+  pipeline (worker-side edge sweep, streamed CSR assembly); a
+  ``tiled_unfused`` row keeps the classic iterate on the trajectory.
+  ``fused_speedup`` is classic/fused wall time and
+  ``dispatcher_serial_fraction`` shows the dispatcher-side
+  O(|Ec|) edge sweep going from a measured fraction of the classic
+  iteration to exactly zero in the fused one (the sweep happens on
+  the workers, per strip).  The unfused colorings join the
+  bit-identity assertion: fusion is a pure dataflow change.
+
+Elapsed seconds land in ``BENCH_PR7.json`` at the repo root; the JSON
+files form the performance trajectory (``BENCH_PR1..6.json`` hold the
 earlier axes), so regressions are visible in review.
 
 The parallel rows record ``host_cpu_count``; on hosts with fewer cores
@@ -78,10 +88,11 @@ from repro.core import Picasso, PicassoParams
 from repro.pauli import random_pauli_set
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_PR6.json"
-#: --quick writes here instead, so a CI smoke run can never clobber
-#: the committed full-size trajectory file.
-QUICK_OUT_PATH = REPO_ROOT / "BENCH_PR6.quick.json"
+OUT_PATH = REPO_ROOT / "BENCH_PR7.json"
+#: --quick writes here instead — an ignored directory, so a CI smoke
+#: run can never land an artifact in the tree or clobber the committed
+#: full-size trajectory file.
+QUICK_OUT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_PR7.quick.json"
 
 #: (name, n strings, n qubits) — the last row is the acceptance
 #: headline: 10k strings over 50 qubits.
@@ -110,6 +121,10 @@ def run_config(pauli_set, params: PicassoParams, seed: int, repeats: int = 2) ->
         "assign_s": round(phases["assignment"], 4),
         "conflict_build_s": round(phases["conflict_graph"], 4),
         "conflict_color_s": round(phases["conflict_coloring"], 4),
+        "sweep_s": round(phases["sweep"], 4),
+        "assemble_s": round(phases["assemble"], 4),
+        "edge_sweep_s": round(phases["edge_sweep"], 4),
+        "fused": bool(result.iterations and result.iterations[0].fused),
         "n_colors": int(result.n_colors),
         "n_iterations": result.n_iterations,
         "color_engine": result.engine,
@@ -120,13 +135,17 @@ def run_config(pauli_set, params: PicassoParams, seed: int, repeats: int = 2) ->
 
 
 def phase_breakdown(row: dict) -> dict:
-    """Build-vs-color wall-time split of one config row."""
+    """Build-vs-color wall-time split of one config row, including the
+    dispatcher-side edge-sweep bucket — identically zero in fused rows
+    (the sweep runs worker-side, folded into ``build_s``)."""
     total = max(row["total_s"], 1e-9)
     return {
         "build_s": row["conflict_build_s"],
         "color_s": row["conflict_color_s"],
+        "dispatcher_edge_sweep_s": row["edge_sweep_s"],
         "build_fraction": round(row["conflict_build_s"] / total, 4),
         "color_fraction": round(row["conflict_color_s"] / total, 4),
+        "dispatcher_serial_fraction": round(row["edge_sweep_s"] / total, 4),
     }
 
 
@@ -176,9 +195,10 @@ def main(argv=None) -> int:
     cases = QUICK_CASES if args.quick else CASES
     report = {
         "benchmark": (
-            "distributed socket-sharded sweep+coloring vs the single-host "
-            f"axes: greedy-dynamic vs {args.color_engine} coloring, plus "
-            "the PR 1-3 backend/gather rows"
+            "fused worker-swept iterate vs the classic dispatcher-swept "
+            "one, distributed socket-sharded sweep+coloring vs the "
+            f"single-host axes: greedy-dynamic vs {args.color_engine} "
+            "coloring, plus the PR 1-3 backend/gather rows"
         ),
         "n_workers": args.workers,
         "color_engine": args.color_engine,
@@ -223,8 +243,13 @@ def _run_cases(args, report, hosts, cases) -> int:
     """The per-case measurement loop (cluster lifetime owned by main)."""
     for name, n, nq in cases:
         pauli_set = random_pauli_set(n, nq, seed=0)
-        # PR 1-3 axes (greedy-dynamic coloring throughout).
+        # PR 1-3 axes (greedy-dynamic coloring throughout).  The rows
+        # run the PR 7 fused iterate (the default); tiled_unfused keeps
+        # the classic dispatcher-swept iterate on the trajectory.
         tiled = run_config(pauli_set, PicassoParams(engine="tiled"), args.seed)
+        tiled_unfused = run_config(
+            pauli_set, PicassoParams(engine="tiled", fused=False), args.seed
+        )
         tiled_par = run_config(
             pauli_set,
             PicassoParams(engine="tiled", n_workers=args.workers),
@@ -279,7 +304,8 @@ def _run_cases(args, report, hosts, cases) -> int:
                 args.seed,
             )
         identical = bool(
-            np.array_equal(tiled["colors"], gather["colors"])
+            np.array_equal(tiled["colors"], tiled_unfused["colors"])
+            and np.array_equal(tiled["colors"], gather["colors"])
             and np.array_equal(tiled["colors"], tiled_par["colors"])
             and np.array_equal(tiled["colors"], tiled_shm["colors"])
             and np.array_equal(tiled["colors"], cluster_row["colors"])
@@ -296,7 +322,7 @@ def _run_cases(args, report, hosts, cases) -> int:
             color_serial["n_colors"] == color_pool["n_colors"]
         )
         for row in (
-            tiled, tiled_par, tiled_shm, gather,
+            tiled, tiled_unfused, tiled_par, tiled_shm, gather,
             color_serial, color_pool, cluster_row, checkpointed,
         ):
             row.pop("colors")
@@ -329,11 +355,21 @@ def _run_cases(args, report, hosts, cases) -> int:
             / max(tiled["n_colors"], 1),
             2,
         )
+        # The PR 7 headlines: classic/fused wall-time ratio, and the
+        # dispatcher-side O(|Ec|) edge sweep as a fraction of the run —
+        # measurable in the classic iterate, identically zero fused.
+        fused_speedup = tiled_unfused["total_s"] / max(tiled["total_s"], 1e-9)
+        unfused_phases = phase_breakdown(tiled_unfused)
+        dispatcher_serial_fraction = {
+            "classic": unfused_phases["dispatcher_serial_fraction"],
+            "fused": phase_breakdown(tiled)["dispatcher_serial_fraction"],
+        }
         row = {
             "name": name,
             "n_strings": n,
             "n_qubits": nq,
             "tiled": tiled,
+            "tiled_unfused": tiled_unfused,
             "tiled_parallel": tiled_par,
             "tiled_parallel_shm": tiled_shm,
             "gather": gather,
@@ -345,8 +381,11 @@ def _run_cases(args, report, hosts, cases) -> int:
             # choice and must not collapse the dict onto the baseline.
             "phase_breakdown": {
                 "baseline_greedy_dynamic": greedy_phases,
+                "classic_unfused": unfused_phases,
                 f"color_{args.color_engine}": parallel_phases,
             },
+            "fused_speedup": round(fused_speedup, 2),
+            "dispatcher_serial_fraction": dispatcher_serial_fraction,
             "engine_speedup": round(engine_speedup, 2),
             "workers_build_speedup": round(workers_build_speedup, 2),
             "shm_gather_build_speedup": round(shm_gather_build_speedup, 2),
@@ -380,6 +419,9 @@ def _run_cases(args, report, hosts, cases) -> int:
             f"{parallel_phases['color_fraction']:.2f}) "
             f"ckpt_overhead {checkpoint_overhead_pct:+.1f}% "
             f"quality {quality_delta_pct:+.1f}% "
+            f"fused {fused_speedup:.2f}x (edge-sweep fraction "
+            f"{dispatcher_serial_fraction['classic']:.3f}->"
+            f"{dispatcher_serial_fraction['fused']:.3f}) "
             f"identical={identical}/{identical_color}"
         )
         if not identical or not identical_color or not same_n_groups:
@@ -387,6 +429,7 @@ def _run_cases(args, report, hosts, cases) -> int:
             return 1
 
     out_path = QUICK_OUT_PATH if args.quick else OUT_PATH
+    out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
     return 0

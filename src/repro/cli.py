@@ -80,7 +80,39 @@ def _make_params(args: argparse.Namespace):
         overrides["failover"] = args.failover
     if getattr(args, "max_retries", None) is not None:
         overrides["max_retries"] = args.max_retries
+    if getattr(args, "fused", None) is not None:
+        overrides["fused"] = args.fused
     return base.with_(**overrides)
+
+
+def _write_metrics(path: str, result, algorithm: str) -> None:
+    """Per-iteration stats + phase wall-time buckets as JSON.
+
+    Picasso results carry the full iteration trace (including the PR 7
+    sweep / assemble / edge_sweep split); baseline algorithms get the
+    headline numbers only.
+    """
+    import dataclasses
+    import json
+
+    payload = {
+        "algorithm": result.algorithm,
+        "n_colors": int(result.n_colors),
+        "peak_bytes": int(result.peak_bytes),
+        "elapsed_s": float(result.elapsed_s),
+    }
+    if algorithm == "picasso":
+        payload["n_iterations"] = result.n_iterations
+        payload["max_conflict_edges"] = int(result.max_conflict_edges)
+        payload["phase_times"] = {
+            k: float(v) for k, v in result.phase_times().items()
+        }
+        payload["iterations"] = [
+            dataclasses.asdict(s) for s in result.iterations
+        ]
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
 
 
 def _cmd_color(args: argparse.Namespace) -> int:
@@ -125,6 +157,9 @@ def _cmd_color(args: argparse.Namespace) -> int:
     if args.output:
         np.savetxt(args.output, result.colors, fmt="%d")
         print(f"colors written to {args.output}")
+    if getattr(args, "metrics_json", None):
+        _write_metrics(args.metrics_json, result, args.algorithm)
+        print(f"metrics written to {args.metrics_json}")
     return 0
 
 
@@ -294,6 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded-failure retries per backend per sweep before "
         "failing over (default REPRO_MAX_RETRIES=2; setting this "
         "enables supervision even without --failover)",
+    )
+    p.add_argument(
+        "--fused", action=argparse.BooleanOptionalAction, default=None,
+        help="fuse the iteration: workers pre-sweep per-strip conflict "
+        "vertices so the dispatcher skips its O(|Ec|) edge sweep "
+        "(default on, also via REPRO_FUSED=0/1; bit-identical either "
+        "way — --no-fused keeps the classic iterate)",
+    )
+    p.add_argument(
+        "--metrics-json", default=None, dest="metrics_json", metavar="PATH",
+        help="dump per-iteration stats and phase wall-time buckets "
+        "(assignment / conflict build incl. sweep+assemble / coloring "
+        "/ dispatcher edge sweep) to PATH as JSON",
     )
     p.add_argument("--validate", action="store_true")
     p.add_argument("--output", "-o", default=None, help="write per-vertex colors")

@@ -117,14 +117,31 @@ def teardown_palette_worker() -> None:
 
 
 def _strip_tasks(m: int, executor: Executor) -> list[tuple[int, int]]:
-    """Contiguous strips of the active-row range, a few per worker."""
-    from repro.parallel.pool import TASKS_PER_WORKER
+    """Contiguous strips of the active-row range, a few per worker.
+
+    Heterogeneous backends (hierarchical agents advertising their inner
+    pool size) get capacity-weighted strip sizes through the same
+    positional-deal principle as the conflict sweep
+    (:func:`repro.parallel.pool._strip_shares`): strip ``k`` is sized
+    for the slot the ``tasks[k::n]`` deal sends it to.  Round picks are
+    pure functions of the committed state, so strip boundaries never
+    change the output — weighting is purely a throughput knob.  Empty
+    strips stay in place under weighting to keep the deal aligned.
+    """
+    from repro.parallel.pool import TASKS_PER_WORKER, _strip_shares
 
     n_tasks = max(1, executor.n_workers) * TASKS_PER_WORKER
-    bounds = np.linspace(0, m, n_tasks + 1).astype(np.int64)
-    return [
-        (int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a
-    ]
+    shares = _strip_shares(executor, n_tasks)
+    if shares is None:
+        bounds = np.linspace(0, m, n_tasks + 1).astype(np.int64)
+        return [
+            (int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a
+        ]
+    csum = np.cumsum(np.asarray(shares, dtype=np.int64))
+    bounds = np.concatenate(
+        ([0], (m * csum) // int(csum[-1]))
+    ).astype(np.int64)
+    return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
 
 
 def parallel_list_color(

@@ -33,7 +33,11 @@ import numpy as np
 from repro.device.tiles import DEFAULT_TILE_BYTES, EdgeBlockFn
 from repro.graphs.csr import CSRGraph
 from repro.parallel.executor import Executor, owned_executor
-from repro.parallel.pool import conflict_sweep_chunks, gathered_conflict_csr
+from repro.parallel.pool import (
+    conflict_sweep_chunks,
+    fused_conflict_csr,
+    gathered_conflict_csr,
+)
 
 
 def build_conflict_graph(
@@ -52,6 +56,7 @@ def build_conflict_graph(
     active_idx: np.ndarray | None = None,
     hosts=None,
     transport: str = "socket",
+    timings: dict | None = None,
 ) -> tuple[CSRGraph, int]:
     """Build the conflict graph over ``n`` active vertices on the host.
 
@@ -99,6 +104,9 @@ def build_conflict_graph(
         backend (spec ``"cluster"``, or ``"auto"`` with hosts set; see
         :mod:`repro.distributed`).  Sharded builds stay bit-identical
         to serial — strips merge in canonical order.
+    timings:
+        Optional dict accumulating ``sweep_s`` / ``assemble_s`` phase
+        buckets (see :func:`repro.parallel.pool.gathered_conflict_csr`).
 
     Returns the CSR conflict graph and the conflict-edge count.
     """
@@ -109,7 +117,45 @@ def build_conflict_graph(
             n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
             tile_bytes=tile_bytes, executor=ex, shm=shm,
             est_conflict_edges=est_conflict_edges,
+            source=source, active_idx=active_idx, timings=timings,
+        )
+
+
+def build_fused_conflict_state(
+    n: int,
+    edge_mask_fn,
+    colmasks: np.ndarray,
+    chunk_size: int = 1 << 18,
+    engine: str = "tiled",
+    edge_block_fn: EdgeBlockFn | None = None,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
+    n_workers: int = 1,
+    executor: str | Executor = "auto",
+    shm: bool = False,
+    est_conflict_edges: float | None = None,
+    source=None,
+    active_idx: np.ndarray | None = None,
+    hosts=None,
+    transport: str = "socket",
+    region_pool=None,
+    timings: dict | None = None,
+) -> tuple[CSRGraph, np.ndarray, int]:
+    """Fused variant of :func:`build_conflict_graph`: returns the
+    conflicted-subgraph CSR, the conflict vertex ids and the edge count
+    in one pass, with the O(|Ec|) dispatcher edge sweep done on the
+    workers (see :func:`repro.parallel.pool.fused_conflict_csr`).
+    Bit-identical state to the classic build + degree scan +
+    induced-subgraph sequence, on every backend.
+    """
+    with owned_executor(
+        executor, n_workers, hosts=hosts, transport=transport
+    ) as ex:
+        return fused_conflict_csr(
+            n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+            tile_bytes=tile_bytes, executor=ex, shm=shm,
+            est_conflict_edges=est_conflict_edges,
             source=source, active_idx=active_idx,
+            region_pool=region_pool, timings=timings,
         )
 
 

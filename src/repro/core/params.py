@@ -137,6 +137,18 @@ class PicassoParams:
         Bounded-failure retries per backend per sweep before failing
         over (or raising); ``None`` defers to ``REPRO_MAX_RETRIES``
         (default 2) when supervision is on.
+    fused:
+        Fuse each iteration's sweep and assembly: workers pre-sweep
+        their strips' conflict-vertex sets alongside the hit arrays,
+        and the dispatcher assembles the conflicted subgraph CSR
+        directly — skipping the full-width graph, its degree scan and
+        the induced-subgraph relabel (the dispatcher-side O(|Ec|) edge
+        sweep).  Fused and unfused runs are **bit-identical per seed**
+        on every host backend, so this is purely a throughput knob.
+        ``None`` (default) defers to the ``REPRO_FUSED`` environment
+        variable (unset/``1`` = fused; ``0``/``false`` = classic); an
+        explicit bool always wins.  The device build keeps its own
+        path and ignores this knob.
     """
 
     palette_fraction: float = 0.125
@@ -161,6 +173,7 @@ class PicassoParams:
     resume: bool = False
     failover: str | tuple | None = None
     max_retries: int | None = None
+    fused: bool | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.palette_fraction <= 1.0:
@@ -253,6 +266,22 @@ class PicassoParams:
         if name == "parallel-list":
             return {"max_rounds": self.color_max_rounds}
         return {}
+
+    def resolved_fused(self) -> bool:
+        """Whether this run takes the fused iterate.
+
+        An explicit ``fused`` bool wins; otherwise the ``REPRO_FUSED``
+        environment variable decides (``"0"``/``"false"``/``"no"``/
+        ``"off"`` disable), defaulting to fused.  Read per call so a
+        test can flip the env var without rebuilding params.
+        """
+        if self.fused is not None:
+            return self.fused
+        import os
+
+        return os.environ.get("REPRO_FUSED", "1").strip().lower() not in (
+            "0", "false", "no", "off",
+        )
 
     def with_(self, **kwargs) -> "PicassoParams":
         """Functional update."""

@@ -21,7 +21,7 @@ import numpy as np
 from repro.coloring.base import ColoringResult
 from repro.coloring.engine import get_engine
 from repro.core.analysis import expected_conflict_edges
-from repro.core.conflict import build_conflict_graph
+from repro.core.conflict import build_conflict_graph, build_fused_conflict_state
 from repro.core.palette import assign_color_lists, lists_nbytes
 from repro.core.params import PicassoParams
 from repro.core.sources import ExplicitGraphSource, PauliComplementSource
@@ -62,6 +62,15 @@ class IterationStats:
     built_on_device: bool | None = None
     color_rounds: int = 1
     color_peak_bytes: int = 0
+    #: Sub-buckets of the build/color phases (PR 7 fused pipeline
+    #: telemetry).  ``sweep_s`` drains the worker hit stream,
+    #: ``assemble_s`` is the CSR build, ``edge_sweep_s`` is the
+    #: dispatcher-side degree scan + induced-subgraph relabel — zero on
+    #: the fused path, where that work rides the workers' strips.
+    sweep_s: float = 0.0
+    assemble_s: float = 0.0
+    edge_sweep_s: float = 0.0
+    fused: bool = False
 
 
 @dataclass
@@ -82,11 +91,20 @@ class PicassoResult(ColoringResult):
         return max(s.n_conflict_edges for s in self.iterations)
 
     def phase_times(self) -> dict[str, float]:
-        """Cumulative seconds per phase (Fig. 3 breakdown)."""
+        """Cumulative seconds per phase (Fig. 3 breakdown).
+
+        The three coarse phases are joined by their sub-buckets:
+        ``sweep`` / ``assemble`` split ``conflict_graph``, and
+        ``edge_sweep`` is the dispatcher-side portion of
+        ``conflict_coloring`` that the fused pipeline eliminates.
+        """
         return {
             "assignment": sum(s.assign_s for s in self.iterations),
             "conflict_graph": sum(s.conflict_build_s for s in self.iterations),
             "conflict_coloring": sum(s.conflict_color_s for s in self.iterations),
+            "sweep": sum(s.sweep_s for s in self.iterations),
+            "assemble": sum(s.assemble_s for s in self.iterations),
+            "edge_sweep": sum(s.edge_sweep_s for s in self.iterations),
         }
 
 
@@ -159,12 +177,24 @@ class Picasso:
             hosts=params.hosts, transport=params.transport,
             failover=params.failover, max_retries=params.max_retries,
         )
+        # Double-buffered shm regions reused across the run's fused
+        # sweeps (instead of create/zero/unlink churn per iteration);
+        # run-scoped like the executor, closed with it.
+        region_pool = None
+        if params.shm_gather and self.device is None and params.resolved_fused():
+            from repro.parallel.shm import ShmRegionPool
+
+            region_pool = ShmRegionPool()
         try:
-            return self._color_source_with(source, executor)
+            return self._color_source_with(source, executor, region_pool)
         finally:
+            if region_pool is not None:
+                region_pool.close()
             executor.close()
 
-    def _color_source_with(self, source, executor) -> PicassoResult:
+    def _color_source_with(
+        self, source, executor, region_pool=None
+    ) -> PicassoResult:
         t_start = time.perf_counter()
         params = self.params
         # One engine instance for the whole run, from the registry —
@@ -183,6 +213,10 @@ class Picasso:
         iterations: list[IterationStats] = []
         peak_bytes = 0
         start_iteration = 1
+        # Fused iterate: workers pre-sweep conflict vertices and the
+        # dispatcher assembles the conflicted sub-CSR directly.  Host
+        # path only — the device build owns its own budgeted assembly.
+        fused = self.device is None and params.resolved_fused()
 
         ckpt_dir = params.checkpoint_dir
         fingerprint = (
@@ -245,6 +279,7 @@ class Picasso:
                 else None
             )
             active_idx = active if it > 1 else None
+            timings: dict[str, float] = {}
             if self.device is not None:
                 gc, build_stats = build_conflict_csr(
                     n,
@@ -263,6 +298,27 @@ class Picasso:
                 )
                 n_conf_edges = build_stats.n_conflict_edges
                 built_on_device = build_stats.built_on_device
+            elif fused:
+                # Fused iterate: the sweep comes back as coloring-round
+                # state — conflicted vertex ids plus their sub-CSR —
+                # with the edge-level degree scan already folded into
+                # the workers' strips.
+                sub_gc, conflicted, n_conf_edges = build_fused_conflict_state(
+                    n,
+                    active_source.edge_mask,
+                    colmasks,
+                    chunk_size=params.chunk_size,
+                    engine=params.engine,
+                    edge_block_fn=edge_block_fn,
+                    tile_bytes=params.tile_budget_bytes,
+                    executor=executor,
+                    shm=params.shm_gather,
+                    est_conflict_edges=est_edges,
+                    source=source,
+                    active_idx=active_idx,
+                    region_pool=region_pool,
+                    timings=timings,
+                )
             else:
                 gc, n_conf_edges = build_conflict_graph(
                     n,
@@ -277,6 +333,7 @@ class Picasso:
                     est_conflict_edges=est_edges,
                     source=source,
                     active_idx=active_idx,
+                    timings=timings,
                 )
             t_build = time.perf_counter() - t0
 
@@ -284,15 +341,28 @@ class Picasso:
             # then list-color the conflicted subgraph.
             t0 = time.perf_counter()
             local_colors = np.full(n, -1, dtype=np.int64)
-            degrees = gc.degree()
-            unconflicted = np.nonzero(degrees == 0)[0]
+            if fused:
+                # The conflicted set is in hand; its complement is the
+                # same ascending id list the degree scan would produce.
+                umask = np.ones(n, dtype=bool)
+                umask[conflicted] = False
+                unconflicted = np.flatnonzero(umask)
+                graph_nbytes = sub_gc.nbytes + conflicted.nbytes
+            else:
+                t_es = time.perf_counter()
+                degrees = gc.degree()
+                unconflicted = np.nonzero(degrees == 0)[0]
+                conflicted = np.nonzero(degrees > 0)[0]
+                sub_gc = None
+                if len(conflicted):
+                    sub_gc, _ = induced_subgraph(gc, conflicted)
+                timings["edge_sweep_s"] = time.perf_counter() - t_es
+                graph_nbytes = gc.nbytes
             local_colors[unconflicted] = col_lists[unconflicted, 0]
 
-            conflicted = np.nonzero(degrees > 0)[0]
             color_rounds = 0
             color_peak = 0
             if len(conflicted):
-                sub_gc, _ = induced_subgraph(gc, conflicted)
                 sub_lists = col_lists[conflicted]
                 outcome = color_engine.color(
                     sub_gc, sub_lists, self.rng,
@@ -317,10 +387,14 @@ class Picasso:
             # but kept out of the Table IV peak metric, whose definition
             # predates the engine layer — changing it would break the
             # cross-PR memory trajectory.
+            # The fused path never holds the full-width graph, so its
+            # term is the conflicted sub-CSR plus the vertex ids — the
+            # same definition the unfused path converges to after its
+            # induced_subgraph, just without the transient full graph.
             iter_peak = (
                 active_source.nbytes
                 + lists_nbytes(col_lists, colmasks)
-                + gc.nbytes
+                + graph_nbytes
                 + colors.nbytes
             )
             peak_bytes = max(peak_bytes, iter_peak)
@@ -341,6 +415,10 @@ class Picasso:
                     built_on_device=built_on_device,
                     color_rounds=color_rounds,
                     color_peak_bytes=int(color_peak),
+                    sweep_s=float(timings.get("sweep_s", 0.0)),
+                    assemble_s=float(timings.get("assemble_s", 0.0)),
+                    edge_sweep_s=float(timings.get("edge_sweep_s", 0.0)),
+                    fused=fused,
                 )
             )
 

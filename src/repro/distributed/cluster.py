@@ -168,6 +168,19 @@ class ClusterExecutor(Executor):
             and incs == self._token_incarnations.get(token_channel(token))
         )
 
+    def worker_capacities(self) -> list[int]:
+        """Per-shard capacity as advertised in the agents' handshakes.
+
+        A flat agent advertises 1; a hierarchical agent advertises its
+        ``inner_workers``.  The weighted strip deal
+        (:func:`repro.parallel.pool.sweep_strip_tasks`) consumes this
+        to give bigger shards proportionally more pair weight while the
+        positional ``tasks[k::n]`` deal stays untouched.  Connects on
+        demand; agents predating the capacity field count as 1.
+        """
+        conns = self._ensure_connected()
+        return [max(1, int(c.peer.get("capacity", 1))) for c in conns]
+
     # -- broadcast / stream ---------------------------------------------
 
     def _broadcast(self, fn: Callable, payload: tuple) -> None:
@@ -330,6 +343,17 @@ class ClusterExecutor(Executor):
                         )
                         continue
                     if not msg.get("ok"):
+                        if isinstance(msg["error"], WorkerFailure):
+                            # A hierarchical agent relaying its inner
+                            # pool's typed failure: the shard's attempt
+                            # is lost exactly as if the agent had died,
+                            # so its strips redistribute the same way
+                            # (the agent itself stays up — with a
+                            # recycled inner pool — for later runs).
+                            self._redistribute_dead(
+                                c, tasks, task_fn, emissions, owner, dead
+                            )
+                            continue
                         raise msg["error"]
                     buffered[emissions[c].popleft()] = msg["result"]
                 yield buffered.pop(k)

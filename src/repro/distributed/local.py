@@ -48,11 +48,11 @@ def _local_start_method(start_method: str | None) -> str:
     return method
 
 
-def _agent_main(host: str, port: int, report) -> None:
+def _agent_main(host: str, port: int, report, inner_workers: int = 1) -> None:
     """Agent process entry (module-level so it pickles under spawn)."""
     from repro.distributed.worker import WorkerAgent
 
-    agent = WorkerAgent(host, port)
+    agent = WorkerAgent(host, port, inner_workers=inner_workers)
     report.send(agent.port)
     report.close()
     agent.serve_forever()
@@ -77,11 +77,15 @@ class LocalCluster:
         n_workers: int = 2,
         start_method: str | None = None,
         host: str = "127.0.0.1",
+        inner_workers: int = 1,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.host = host
         self.n_workers = n_workers
+        #: Local pool size behind each agent (1 = flat PR 5 agents;
+        #: > 1 = hierarchical agents advertising this as capacity).
+        self.inner_workers = max(1, int(inner_workers))
         self._ctx = mp.get_context(_local_start_method(start_method))
         self._procs: list = []
         self._ports: list[int] = []
@@ -97,8 +101,13 @@ class LocalCluster:
     def _spawn(self, port: int):
         """Start one agent and wait (bounded) for its bound port."""
         recv, send = self._ctx.Pipe(duplex=False)
+        # Hierarchical agents spawn a local pool, and daemonic
+        # processes are not allowed children — so they run
+        # non-daemonic (close() kills them explicitly either way).
         proc = self._ctx.Process(
-            target=_agent_main, args=(self.host, port, send), daemon=True
+            target=_agent_main,
+            args=(self.host, port, send, self.inner_workers),
+            daemon=self.inner_workers <= 1,
         )
         proc.start()
         send.close()

@@ -244,8 +244,16 @@ class Connection:
         self.close()
 
 
-def server_hello(incarnation: str) -> dict:
-    """The greeting an agent sends on every accepted connection."""
+def server_hello(incarnation: str, capacity: int = 1) -> dict:
+    """The greeting an agent sends on every accepted connection.
+
+    ``capacity`` advertises how many local worker processes sit behind
+    the agent (1 for the flat agent, ``inner_workers`` for the
+    hierarchical one) so the dispatcher's weighted strip deal can size
+    this shard's share.  Extra keys are handshake-compatible:
+    :func:`check_hello` validates only magic and version, so an old
+    client simply ignores the field.
+    """
     import os
 
     return {
@@ -253,6 +261,7 @@ def server_hello(incarnation: str) -> dict:
         "version": PROTOCOL_VERSION,
         "pid": os.getpid(),
         "incarnation": incarnation,
+        "capacity": int(capacity),
     }
 
 

@@ -34,6 +34,14 @@ remaining tasks, and the agent goes back to accepting.
 The agent serves one connection at a time: the cluster executor holds
 one persistent connection per shard, mirroring the persistent pool.
 
+With ``inner_workers > 1`` the agent is **hierarchical**: it wraps a
+local persistent :class:`~repro.parallel.executor.PoolExecutor`, fans
+installs out to every local worker, and streams imap results from the
+pool — so every core on the host works while the transport crosses
+hosts once per strip group.  The handshake advertises ``inner_workers``
+as the shard's ``capacity``, which the dispatcher's weighted strip deal
+consumes.
+
 Run standalone on a real host with::
 
     python -m repro.distributed.worker --bind 0.0.0.0:7070
@@ -106,25 +114,66 @@ class WorkerAgent:
         port of a killed predecessor immediately.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        inner_workers: int = 1,
+    ) -> None:
         self.host = host
+        #: Local worker processes behind this agent.  1 keeps the flat
+        #: PR 5 agent (RPCs run in the agent process itself); > 1 makes
+        #: the agent hierarchical — it wraps a local
+        #: :class:`~repro.parallel.executor.PoolExecutor` so every core
+        #: on the host works while the transport crosses hosts once per
+        #: strip group.
+        self.inner_workers = max(1, int(inner_workers))
         #: Fresh per agent process, never reused: a dispatcher that
         #: reconnects and sees a different incarnation knows every
         #: worker-side payload cache is gone.
         self.incarnation = uuid.uuid4().hex
+        self._inner = None
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen(4)
         self.port = self._listener.getsockname()[1]
 
+    @property
+    def capacity(self) -> int:
+        """Strip-deal weight this shard advertises in its handshake."""
+        return self.inner_workers
+
+    def _inner_pool(self):
+        """The lazy local pool of a hierarchical agent (None when flat)."""
+        if self.inner_workers <= 1:
+            return None
+        if self._inner is None:
+            from repro.parallel.executor import PoolExecutor
+
+            self._inner = PoolExecutor(self.inner_workers)
+        return self._inner
+
     # -- RPC handlers ----------------------------------------------------
 
     def _handle(self, conn: Connection, msg: dict) -> None:
         op = msg.get("op")
+        inner = self._inner_pool()
         if op == "install" or op == "finalize":
             try:
-                msg["fn"](*msg.get("payload", ()))
+                if inner is not None:
+                    # Fan the install out to every local worker.  A
+                    # delta install against a recycled inner pool raises
+                    # PayloadNotInstalled from the workers; it travels
+                    # back verbatim and the dispatcher's one-shot
+                    # full-install retry fires, exactly as for a
+                    # restarted flat agent.
+                    if op == "finalize":
+                        inner.finalize(msg["fn"], msg.get("payload", ()))
+                    else:
+                        inner.broadcast(msg["fn"], msg.get("payload", ()))
+                else:
+                    msg["fn"](*msg.get("payload", ()))
             except Exception as exc:
                 # Exception, not BaseException: KeyboardInterrupt /
                 # SystemExit must stop a standalone agent, not be
@@ -134,6 +183,9 @@ class WorkerAgent:
             conn.send({"ok": True})
         elif op == "imap":
             fn = msg["fn"]
+            if inner is not None:
+                self._imap_inner(conn, inner, fn, msg["tasks"])
+                return
             for task in msg["tasks"]:
                 try:
                     result = fn(task)
@@ -143,7 +195,7 @@ class WorkerAgent:
                 conn.send({"ok": True, "result": result}, _SEND_BOUND)
         elif op == "ping":
             conn.send(
-                {"ok": True, **server_hello(self.incarnation)}
+                {"ok": True, **server_hello(self.incarnation, self.capacity)}
             )
         elif op == "shutdown":
             conn.send({"ok": True})
@@ -153,9 +205,42 @@ class WorkerAgent:
                 _safe_error(ValueError(f"unknown RPC op {op!r}"))
             )
 
+    def _imap_inner(self, conn: Connection, inner, fn, tasks) -> None:
+        """The hierarchical imap: strips run on the local pool, results
+        stream back per-task in task order.
+
+        A SIGKILLed inner worker surfaces (within the result bound) as
+        the pool's typed :class:`~repro.parallel.executor.WorkerFailure`
+        — which pickles — so the dispatcher sees the same exception
+        family a dead flat agent produces and the supervisor's retry /
+        failover machinery applies unchanged.  The inner pool has been
+        recycled by then, so the retry's full install lands on fresh
+        workers.
+        """
+        stream = inner.imap(fn, tasks)
+        try:
+            while True:
+                try:
+                    result = next(stream)
+                except StopIteration:
+                    return
+                except Exception as exc:
+                    conn.send(_safe_error(exc), _SEND_BOUND)
+                    return
+                conn.send({"ok": True, "result": result}, _SEND_BOUND)
+        finally:
+            # A dispatcher that vanished mid-stream (its send raised
+            # TransportError past us) abandons the stream; closing it
+            # triggers the pool's recycle-on-abandon so stale strips
+            # never leak into the next sweep.  (Empty task lists come
+            # back as a plain iterator with no close.)
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+
     def _serve_connection(self, sock: socket.socket) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        send_msg(sock, server_hello(self.incarnation))
+        send_msg(sock, server_hello(self.incarnation, self.capacity))
         check_hello(recv_msg(sock))
         conn = Connection(sock)
         # The resilience suite's "drop" fault severs *this* connection
@@ -196,15 +281,23 @@ class WorkerAgent:
             self.close()
 
     def close(self) -> None:
+        if self._inner is not None:
+            try:
+                self._inner.close()
+            except Exception:  # pragma: no cover - close never matters
+                pass
+            self._inner = None
         try:
             self._listener.close()
         except OSError:  # pragma: no cover - close never matters
             pass
 
 
-def serve(host: str = "127.0.0.1", port: int = 0) -> None:
+def serve(
+    host: str = "127.0.0.1", port: int = 0, inner_workers: int = 1
+) -> None:
     """Bind and serve until a shutdown RPC (blocking convenience)."""
-    agent = WorkerAgent(host, port)
+    agent = WorkerAgent(host, port, inner_workers=inner_workers)
     # flush: operators (and tests) read the bound port through a pipe.
     print(
         f"repro worker agent listening on {agent.host}:{agent.port}",
@@ -223,9 +316,18 @@ def main(argv: list[str] | None = None) -> int:
         metavar="HOST:PORT",
         help="listen address (port 0 picks an ephemeral port)",
     )
+    parser.add_argument(
+        "--inner-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="local worker processes behind this agent (default 1 = "
+        "flat agent; > 1 wraps a local process pool and advertises N "
+        "as the shard's strip-deal capacity)",
+    )
     args = parser.parse_args(argv)
     host, _, port = args.bind.rpartition(":")
-    serve(host or "127.0.0.1", int(port))
+    serve(host or "127.0.0.1", int(port), inner_workers=args.inner_workers)
     return 0
 
 

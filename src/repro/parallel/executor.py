@@ -282,6 +282,16 @@ class Executor(ABC):
             and self._tokens.get(token_channel(token)) == token
         )
 
+    def worker_capacities(self) -> list[int]:
+        """Relative task-weight capacity of each worker slot, aligned
+        with the positional deal (slot ``k`` receives ``tasks[k::n]``).
+
+        Homogeneous backends report all-ones; a hierarchical cluster
+        shard advertises how many local cores sit behind its agent so
+        the strip partitioner can deal it proportionally more pair
+        weight (see :func:`repro.parallel.pool.sweep_strip_tasks`)."""
+        return [1] * self.n_workers
+
     def finalize(self, fn: Callable, payload: tuple = ()) -> None:
         """Run a cleanup function once per worker after a sweep.
 
@@ -535,6 +545,18 @@ class PoolExecutor(Executor):
         # can abort (DeviceOutOfMemory) mid-sweep.
         self._streaming = True
         return self._stream(pool.imap(task_fn, tasks))
+
+    def broadcast(self, fn: Callable, payload: tuple = ()) -> None:
+        """Run ``fn(*payload)`` once in every pool worker, eagerly.
+
+        The install primitive ``imap`` uses internally, exposed for
+        callers that must forward an install RPC verbatim to every
+        local worker — the hierarchical cluster agent
+        (:class:`repro.distributed.worker.WorkerAgent`) fans each
+        install/finalize message out through this.  Token bookkeeping is
+        the caller's problem (the agent's dispatcher tracks tokens
+        end-to-end; tracking them here too would double-count)."""
+        self._broadcast(fn, payload)
 
     def finalize(self, fn: Callable, payload: tuple = ()) -> None:
         if self._pool is not None:

@@ -47,19 +47,52 @@ class PairRange:
         return self.stop - self.start
 
 
-def partition_pairs(n: int, n_parts: int) -> list[PairRange]:
+def _check_shares(shares, n_parts: int) -> np.ndarray:
+    arr = np.asarray(shares, dtype=np.int64)
+    if arr.ndim != 1 or len(arr) != n_parts:
+        raise ValueError("shares must have one entry per part")
+    if np.any(arr <= 0):
+        raise ValueError("shares must be positive")
+    return arr
+
+
+def partition_pairs(
+    n: int, n_parts: int, shares=None, keep_empty: bool = False
+) -> list[PairRange]:
     """Split the pair space of ``n`` vertices into ``n_parts`` balanced
-    contiguous ranges (sizes differ by at most one pair)."""
+    contiguous ranges (sizes differ by at most one pair).
+
+    With ``shares`` (one positive integer per part), each range's size
+    is instead proportional to its share: boundaries sit where the pair
+    prefix crosses ``total * cumsum(shares) / sum(shares)``, so every
+    part's size is within one pair of its ideal weighted quota.
+
+    ``keep_empty`` keeps zero-length ranges in place (always exactly
+    ``n_parts`` entries) — required by the capacity-weighted positional
+    deal, where part ``k`` must stay at index ``k``.
+    """
     if n_parts < 1:
         raise ValueError("n_parts must be >= 1")
     total = num_pairs(n)
-    base, extra = divmod(total, n_parts)
     out = []
-    start = 0
-    for k in range(n_parts):
-        size = base + (1 if k < extra else 0)
-        out.append(PairRange(start, start + size))
-        start += size
+    if shares is None:
+        base, extra = divmod(total, n_parts)
+        start = 0
+        for k in range(n_parts):
+            size = base + (1 if k < extra else 0)
+            out.append(PairRange(start, start + size))
+            start += size
+    else:
+        arr = _check_shares(shares, n_parts)
+        csum = np.cumsum(arr)
+        share_total = int(csum[-1])
+        bounds = [0] + [
+            int(total * int(c) // share_total) for c in csum
+        ]
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            out.append(PairRange(a, b))
+    if keep_empty:
+        return out
     return [r for r in out if len(r) > 0] or [PairRange(0, 0)]
 
 
@@ -103,7 +136,9 @@ def block_pair_count(r0: int, r1: int, c0: int, c1: int) -> int:
     return (r1 - r0) * (c1 - c0)
 
 
-def partition_tiles(n: int, tile: int, n_parts: int) -> list[TileBlock]:
+def partition_tiles(
+    n: int, tile: int, n_parts: int, shares=None, keep_empty: bool = False
+) -> list[TileBlock]:
     """Split the tile grid into ``n_parts`` contiguous strips balanced
     by pair weight.
 
@@ -113,9 +148,19 @@ def partition_tiles(n: int, tile: int, n_parts: int) -> list[TileBlock]:
     are atomic — "balance within one tile").  Empty strips are dropped;
     a degenerate grid yields one empty block, mirroring
     :func:`partition_pairs`.
+
+    With ``shares`` (one positive integer per part), targets become
+    ``total * cumsum(shares) / sum(shares)`` so strip k's pair weight is
+    proportional to ``shares[k]``, still within one tile of its quota.
+    Uniform shares reproduce the unweighted targets exactly, so the
+    weighted partitioner is a strict generalization.  ``keep_empty``
+    keeps zero-tile strips in place (always exactly ``n_parts``
+    entries) for the capacity-weighted positional deal.
     """
     if n_parts < 1:
         raise ValueError("n_parts must be >= 1")
+    if shares is not None:
+        _check_shares(shares, n_parts)
     grid = tile_grid(n, tile)
     weights = np.array(
         [block_pair_count(*b) for b in grid], dtype=np.int64
@@ -123,10 +168,16 @@ def partition_tiles(n: int, tile: int, n_parts: int) -> list[TileBlock]:
     prefix = np.cumsum(weights)
     total = int(prefix[-1]) if len(prefix) else 0
     if total == 0:
+        if keep_empty:
+            return [TileBlock(0, 0, 0)] * n_parts
         return [TileBlock(0, 0, 0)]
     # Boundary after the first tile whose prefix weight reaches each
     # ideal target; monotone by construction of the targets.
-    targets = (total * np.arange(1, n_parts, dtype=np.int64)) // n_parts
+    if shares is None:
+        targets = (total * np.arange(1, n_parts, dtype=np.int64)) // n_parts
+    else:
+        csum = np.cumsum(_check_shares(shares, n_parts))
+        targets = (total * csum[:-1]) // int(csum[-1])
     cuts = np.searchsorted(prefix, targets, side="left") + 1
     bounds = [0, *cuts.tolist(), len(grid)]
     out = []
@@ -134,4 +185,6 @@ def partition_tiles(n: int, tile: int, n_parts: int) -> list[TileBlock]:
         if b > a:
             w = int(prefix[b - 1]) - (int(prefix[a - 1]) if a else 0)
             out.append(TileBlock(a, b, w))
+        elif keep_empty:
+            out.append(TileBlock(a, b, 0))
     return out or [TileBlock(0, 0, 0)]

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 import weakref
 from collections.abc import Iterator
 from contextlib import contextmanager
@@ -85,6 +86,7 @@ __all__ = [
     "conflict_sweep_chunks",
     "conflict_hit_chunks",
     "gathered_conflict_csr",
+    "fused_conflict_csr",
     "block_sweep_chunks",
     "parallel_conflict_graph",
     "payload_token_for",
@@ -352,6 +354,45 @@ def run_pair_range_shm(task) -> int:
     return write_strip_hits(u, v, spec)
 
 
+def _strip_verts(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Sorted unique endpoint ids of one strip's hits — the pre-swept
+    per-vertex conflict state of the fused pipeline.  Computing it here
+    moves the O(|Ec|) vertex detection off the dispatcher and onto the
+    worker; the dispatcher only ORs each strip's (much smaller) vertex
+    set into its global conflict mask."""
+    if not len(u):
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate((u, v)))
+
+
+def _run_tile_strip_fused(task):
+    """Worker task: tile-strip sweep plus per-strip conflict vertices."""
+    u, v = _run_tile_strip(task)
+    return u, v, _strip_verts(u, v)
+
+
+def _run_pair_range_fused(task):
+    """Worker task: pair-range sweep plus per-strip conflict vertices."""
+    u, v = _run_pair_range(task)
+    return u, v, _strip_verts(u, v)
+
+
+def run_tile_strip_shm_fused(task) -> tuple[int, np.ndarray]:
+    """Worker task: tile strip into a shared COO slice, returning the
+    hit count (negated on overflow) and the strip's conflict vertices
+    (valid either way — the sweep ran even when the write did not)."""
+    (start, stop), spec = task
+    u, v = _run_tile_strip((start, stop))
+    return write_strip_hits(u, v, spec), _strip_verts(u, v)
+
+
+def run_pair_range_shm_fused(task) -> tuple[int, np.ndarray]:
+    """Worker task: pair range into a shared COO slice, fused variant."""
+    (start, stop), spec = task
+    u, v = _run_pair_range((start, stop))
+    return write_strip_hits(u, v, spec), _strip_verts(u, v)
+
+
 def _init_block_worker(payload: dict) -> None:
     _WORKER.clear()
     _WORKER.update(payload)
@@ -364,19 +405,56 @@ def _run_block_strip(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
     return block_hits_strip(_WORKER["block_fn"], _WORKER["grid"][start:stop])
 
 
+def _strip_shares(executor: Executor, n_tasks: int) -> list[int] | None:
+    """Capacity shares for the weighted strip deal, or ``None`` for the
+    classic equal-share partition.
+
+    Every executor deals task ``k`` to worker slot ``k % n_workers``
+    (the pool queue rebalances freely; the cluster deal is positional),
+    so giving strip ``k`` a share equal to slot ``k % n_workers``'s
+    advertised capacity hands each shard total pair weight proportional
+    to its capacity *without touching the deal itself* — the task list
+    keeps its canonical contiguous cover, so results (and therefore the
+    CSR and the coloring) are bit-identical to the unweighted deal.
+    Uniform capacities return ``None``: the equal-share path is kept
+    byte-exact."""
+    get_caps = getattr(executor, "worker_capacities", None)
+    if get_caps is None:
+        return None
+    caps = list(get_caps())
+    if not caps or len(set(caps)) == 1:
+        return None
+    return [int(caps[k % len(caps)]) for k in range(n_tasks)]
+
+
 def sweep_strip_tasks(
     n: int, engine: str, tile: int | None, executor: Executor
 ) -> tuple[list[tuple[int, int]], np.ndarray]:
     """Partition the sweep domain for an executor: ``(start, stop)``
     strip tasks in canonical order plus each strip's pair weight (the
-    shm gather sizes slot reservations from the weights)."""
-    n_tasks = max(1, executor.n_workers) * TASKS_PER_WORKER
+    shm gather sizes slot reservations from the weights).
+
+    Heterogeneous backends (hierarchical cluster agents advertising
+    their inner pool size) get a capacity-weighted partition: strip
+    ``k``'s pair weight is proportional to the capacity of the worker
+    slot the positional deal sends it to.  Weighted partitions keep
+    empty strips in place so the ``tasks[k::n]`` alignment holds."""
+    n_workers = max(1, executor.n_workers)
+    n_tasks = n_workers * TASKS_PER_WORKER
+    shares = _strip_shares(executor, n_tasks)
+    keep = shares is not None
     if engine == "tiled":
-        blocks = [b for b in partition_tiles(n, tile, n_tasks) if len(b)]
+        blocks = partition_tiles(
+            n, tile, n_tasks, shares=shares, keep_empty=keep
+        )
+        blocks = blocks if keep else [b for b in blocks if len(b)]
         tasks = [(b.start, b.stop) for b in blocks]
         weights = np.array([b.n_pairs for b in blocks], dtype=np.int64)
     else:
-        ranges = [r for r in partition_pairs(n, n_tasks) if len(r)]
+        ranges = partition_pairs(
+            n, n_tasks, shares=shares, keep_empty=keep
+        )
+        ranges = ranges if keep else [r for r in ranges if len(r)]
         tasks = [(r.start, r.stop) for r in ranges]
         weights = np.array([len(r) for r in ranges], dtype=np.int64)
     return tasks, weights
@@ -512,6 +590,7 @@ def gathered_conflict_csr(
     est_conflict_edges: float | None = None,
     source=None,
     active_idx: np.ndarray | None = None,
+    timings: dict | None = None,
 ) -> tuple[CSRGraph, int]:
     """Sweep-and-assemble: the shared back half of every host conflict
     build.  Runs one sweep through :func:`conflict_hit_chunks` and
@@ -522,6 +601,10 @@ def gathered_conflict_csr(
     chunk references must be dropped *before* the gather context closes
     the shared region, or the unmap sees live buffer exports.  One copy
     of that dance, not one per caller.
+
+    ``timings``, when given, accumulates ``sweep_s`` (draining the hit
+    stream — worker compute plus gather) and ``assemble_s`` (the CSR
+    build) into the dict, for the per-iteration phase metrics.
     """
     with conflict_hit_chunks(
         n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
@@ -530,12 +613,159 @@ def gathered_conflict_csr(
         source=source, active_idx=active_idx,
     ) as hit_stream:
         try:
+            t0 = time.perf_counter()
             chunks = [(u, v) for u, v in hit_stream if len(u)]
+            t1 = time.perf_counter()
             m = sum(len(u) for u, _ in chunks)
             graph = csr_from_coo_chunks(chunks, n)
+            if timings is not None:
+                timings["sweep_s"] = (
+                    timings.get("sweep_s", 0.0) + (t1 - t0)
+                )
+                timings["assemble_s"] = (
+                    timings.get("assemble_s", 0.0)
+                    + (time.perf_counter() - t1)
+                )
         finally:
             chunks = None
     return graph, m
+
+
+def _fused_sub_csr(
+    n: int,
+    mask: np.ndarray,
+    chunks: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[CSRGraph, np.ndarray]:
+    """Assemble the conflicted-subgraph CSR directly from hit chunks.
+
+    ``mask`` flags the conflict vertices (the union of all strip vertex
+    sets).  The relabel ``old -> new`` is strictly monotone, so
+    renumbered chunks keep every ordering property of the originals:
+    chunk order is unchanged, within-chunk source order is unchanged,
+    and ties break identically under the stable fill sort — which makes
+    this CSR **bit-identical** to the unfused
+    ``induced_subgraph(csr_from_coo_chunks(chunks, n), conflicted)``
+    (on the conflicted set the induced relabel drops zero arcs, so it
+    too is a pure monotone relabel) while never materializing the
+    full-width graph, its degree vector, or the relabel pass.
+    """
+    conflicted = np.flatnonzero(mask)
+    new_id = np.cumsum(mask, dtype=np.int64)
+    new_id -= 1
+    sub_chunks = [(new_id[u], new_id[v]) for u, v in chunks]
+    return csr_from_coo_chunks(sub_chunks, len(conflicted)), conflicted
+
+
+def fused_conflict_csr(
+    n: int,
+    edge_mask_fn,
+    colmasks: np.ndarray,
+    chunk_size: int = 1 << 18,
+    engine: str = "tiled",
+    edge_block_fn: EdgeBlockFn | None = None,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
+    executor: Executor | None = None,
+    shm: bool = False,
+    est_conflict_edges: float | None = None,
+    source=None,
+    active_idx: np.ndarray | None = None,
+    region_pool=None,
+    timings: dict | None = None,
+) -> tuple[CSRGraph, np.ndarray, int]:
+    """Fused sweep-and-assemble: one pass from pair sweep to
+    coloring-ready conflict state.
+
+    Workers emit each strip's hits *plus* its pre-swept conflict-vertex
+    set, so the dispatcher-side O(|Ec|) edge sweep of the unfused path
+    (full-width CSR build, degree scan, induced-subgraph relabel) is
+    replaced by OR-ing per-strip vertex sets into a mask and assembling
+    the conflicted sub-CSR directly.  Returns ``(sub_gc, conflicted,
+    n_conflict_edges)`` where ``sub_gc`` is bit-identical to the
+    unfused ``induced_subgraph`` result and ``conflicted`` to the
+    unfused ``nonzero(degree > 0)`` vertex set.
+
+    ``region_pool`` (a :class:`repro.parallel.shm.ShmRegionPool`)
+    double-buffers the shm gather regions across iterations.
+    ``timings`` accumulates ``sweep_s`` / ``assemble_s``.
+    """
+    if engine not in ("tiled", "pairs"):
+        raise ValueError(f"unknown engine {engine!r}")
+    t0 = time.perf_counter()
+    mask = np.zeros(n, dtype=bool)
+    chunks: list[tuple[np.ndarray, np.ndarray]] = []
+    m = 0
+    if executor is None or isinstance(executor, SerialExecutor):
+        # In-process sweep: there is no worker to pre-sweep on, so the
+        # vertex detection scatters endpoints directly per chunk (same
+        # set as the per-strip unique, no sort needed).
+        stream = conflict_sweep_chunks(
+            n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+            tile_bytes=tile_bytes, executor=executor,
+            source=source, active_idx=active_idx,
+        )
+        try:
+            for u, v in stream:
+                if len(u):
+                    chunks.append((u, v))
+                    mask[u] = True
+                    mask[v] = True
+                    m += len(u)
+        finally:
+            stream.close()
+        t1 = time.perf_counter()
+        sub_gc, conflicted = _fused_sub_csr(n, mask, chunks)
+    elif shm and executor.supports_shm_gather:
+        with shm_conflict_gather(
+            n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
+            tile_bytes=tile_bytes, executor=executor,
+            est_conflict_edges=est_conflict_edges,
+            source=source, active_idx=active_idx,
+            fused=True, region_pool=region_pool,
+        ) as gather:
+            for verts in gather.strip_verts:
+                if len(verts):
+                    mask[verts] = True
+            chunks = [(u, v) for u, v in gather.chunks if len(u)]
+            m = gather.n_edges
+            t1 = time.perf_counter()
+            # Assemble inside the context: the renumbered chunks are
+            # fresh arrays, so nothing pins the shared region after it.
+            sub_gc, conflicted = _fused_sub_csr(n, mask, chunks)
+    else:
+        if engine == "tiled" and tile_bytes is not None:
+            tile = tile_edge(colmasks.shape[1], tile_bytes, n=n)
+        else:
+            tile = None
+        tasks, _ = sweep_strip_tasks(n, engine, tile, executor)
+        task_fn = (
+            _run_tile_strip_fused if engine == "tiled"
+            else _run_pair_range_fused
+        )
+        payload_args = dict(
+            n=n, engine=engine, tile=tile, chunk_size=chunk_size,
+            colmasks=colmasks, edge_mask_fn=edge_mask_fn,
+            edge_block_fn=edge_block_fn,
+            source=source, active_idx=active_idx, executor=executor,
+        )
+        try:
+            for u, v, verts in imap_sweep(
+                executor, task_fn, tasks, payload_args
+            ):
+                if len(verts):
+                    mask[verts] = True
+                if len(u):
+                    chunks.append((u, v))
+                    m += len(u)
+        finally:
+            executor.finalize(teardown_sweep_worker)
+        t1 = time.perf_counter()
+        sub_gc, conflicted = _fused_sub_csr(n, mask, chunks)
+    if timings is not None:
+        timings["sweep_s"] = timings.get("sweep_s", 0.0) + (t1 - t0)
+        timings["assemble_s"] = (
+            timings.get("assemble_s", 0.0) + (time.perf_counter() - t1)
+        )
+    return sub_gc, conflicted, m
 
 
 def block_sweep_chunks(

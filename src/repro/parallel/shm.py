@@ -45,6 +45,7 @@ __all__ = [
     "SHM_SAFETY",
     "MIN_STRIP_SLOTS",
     "ShmCooRegion",
+    "ShmRegionPool",
     "ShmGatherResult",
     "estimate_conflict_edges",
     "plan_strip_slots",
@@ -155,6 +156,56 @@ class ShmCooRegion:
     def unlink(self) -> None:
         if self.owner:
             self._shm.unlink()
+
+
+class ShmRegionPool:
+    """Double-buffered region reuse across the sweeps of one run.
+
+    Creating, zero-mapping and unlinking a fresh segment every
+    iteration is pure churn when Algorithm 1 runs many rounds over a
+    shrinking active set.  The pool keeps ``n_slots`` regions alive and
+    hands them out round-robin: a slot whose region is large enough is
+    reused as-is (workers re-attach by name through their own cache —
+    stale bytes beyond each strip's reported count are never read); a
+    too-small one is replaced.  Two slots double-buffer: a straggling
+    view of the previous sweep's region never aliases the one being
+    written.  The owner must :meth:`close` the pool when the run ends —
+    pooled regions are deliberately *not* released by the gather
+    context.
+    """
+
+    def __init__(self, n_slots: int = 2) -> None:
+        self._slots: list[ShmCooRegion | None] = [None] * max(1, int(n_slots))
+        self._next = 0
+
+    def acquire(self, capacity: int) -> ShmCooRegion:
+        """A region with at least ``capacity`` slots, reused if possible."""
+        capacity = max(int(capacity), 1)
+        k = self._next
+        self._next = (k + 1) % len(self._slots)
+        region = self._slots[k]
+        if region is not None and region.capacity >= capacity:
+            return region
+        if region is not None:
+            region.close()
+            region.unlink()
+        region = ShmCooRegion.create(capacity)
+        self._slots[k] = region
+        return region
+
+    def close(self) -> None:
+        """Release every pooled region.  Idempotent."""
+        for k, region in enumerate(self._slots):
+            if region is not None:
+                region.close()
+                region.unlink()
+                self._slots[k] = None
+
+    def __enter__(self) -> "ShmRegionPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # Worker-global attachment cache: one attach per region per worker,
@@ -280,9 +331,13 @@ class ShmGatherResult:
     ``chunks`` holds per-strip ``(u, v)`` int64 views into the shared
     region(s), in canonical strip order — the exact stream the pickled
     gather would have produced, valid only inside the gather context.
+    A fused sweep also fills ``strip_verts``: each strip's sorted
+    unique conflict-vertex ids (plain arrays off the result pipe, one
+    entry per strip, aligned with the task order).
     """
 
     chunks: list = field(default_factory=list)
+    strip_verts: list = field(default_factory=list)
     n_edges: int = 0
     n_strips: int = 0
     n_zero_strips: int = 0
@@ -307,6 +362,8 @@ def shm_conflict_gather(
     source=None,
     active_idx: np.ndarray | None = None,
     region_cb=None,
+    fused: bool = False,
+    region_pool: "ShmRegionPool | None" = None,
 ):
     """Run one conflict sweep through the shared-memory gather path.
 
@@ -323,6 +380,17 @@ def shm_conflict_gather(
     ``source``/``active_idx`` enable the persistent-pool delta payload
     (see :mod:`repro.parallel.pool`).  Works with any executor; the
     serial backend simply runs the same strip tasks in-process.
+
+    ``fused`` runs the fused strip tasks, which additionally return
+    each strip's pre-swept conflict-vertex set through the result pipe
+    (filling ``result.strip_verts``); overflowed strips keep their
+    main-pass vertex set — the sweep ran even though the write did not,
+    and the retry's identical set is discarded.  ``region_pool``
+    (a :class:`ShmRegionPool`) supplies the *main* region from a reused
+    double-buffered pool instead of a per-sweep segment; the pool owns
+    that region's lifetime, while retry regions always stay per-sweep.
+    Pooled acquisitions skip ``region_cb`` (the budget hook charges new
+    segments, and the device build never pools).
     """
     # Imported here, not at module top: pool.py imports this module for
     # the worker-side write path.
@@ -356,10 +424,16 @@ def shm_conflict_gather(
         edge_block_fn=edge_block_fn,
         source=source, active_idx=active_idx, executor=executor,
     )
-    task_fn = (
-        _pool.run_tile_strip_shm if engine == "tiled"
-        else _pool.run_pair_range_shm
-    )
+    if fused:
+        task_fn = (
+            _pool.run_tile_strip_shm_fused if engine == "tiled"
+            else _pool.run_pair_range_shm_fused
+        )
+    else:
+        task_fn = (
+            _pool.run_tile_strip_shm if engine == "tiled"
+            else _pool.run_pair_range_shm
+        )
 
     regions: list[ShmCooRegion] = []
 
@@ -371,8 +445,17 @@ def shm_conflict_gather(
         regions.append(region)
         return region
 
+    def _counts(raw: list) -> list[int]:
+        """Split fused ``(count, verts)`` results; bare counts pass through."""
+        if not fused:
+            return raw
+        return [c for c, _ in raw]
+
     try:
-        region = _new_region(result.total_slots)
+        if region_pool is not None:
+            region = region_pool.acquire(result.total_slots)
+        else:
+            region = _new_region(result.total_slots)
         shm_tasks = [
             (
                 t,
@@ -380,9 +463,12 @@ def shm_conflict_gather(
             )
             for k, t in enumerate(tasks)
         ]
-        counts = list(
+        raw = list(
             _pool.imap_sweep(executor, task_fn, shm_tasks, payload_args)
         )
+        counts = _counts(raw)
+        if fused:
+            result.strip_verts = [verts for _, verts in raw]
 
         # Grow-and-retry: strips that overflowed reported their exact
         # hit count; a second region sized by those counts re-runs just
@@ -414,9 +500,9 @@ def shm_conflict_gather(
             # re-install the payload (a delta no-op while the token is
             # still held) so a worker respawned since the main pass
             # does not run the strip against empty state.
-            retry_counts = list(
+            retry_counts = _counts(list(
                 _pool.imap_sweep(executor, task_fn, retry_tasks, payload_args)
-            )
+            ))
             for r, k in enumerate(failed):
                 if retry_counts[r] < 0:  # pragma: no cover - exact sizing
                     raise RuntimeError("shm retry region overflowed")
@@ -424,6 +510,8 @@ def shm_conflict_gather(
                 chunk_src[k] = (retry_region, int(retry_offsets[r]))
 
         result.nbytes = sum(r.nbytes for r in regions)
+        if region_pool is not None:
+            result.nbytes += region.nbytes
         result.n_zero_strips = sum(1 for c in counts if c == 0)
         result.n_edges = int(sum(counts))
         result.chunks = [
@@ -439,6 +527,7 @@ def shm_conflict_gather(
         # a rebind would leave their reference still pinning the views.
         executor.finalize(_pool.teardown_sweep_worker)
         result.chunks.clear()
+        result.strip_verts.clear()
         for r in regions:
             r.close()
             r.unlink()

@@ -177,6 +177,15 @@ class ResilientExecutor(Executor):
         # makes delta-aware payload builders come out full on retry.
         return self._inner.holds_token(token)
 
+    def worker_capacities(self) -> list[int]:
+        try:
+            return self._inner.worker_capacities()
+        except RECOVERABLE:
+            # Capacity probing may dial the shards; a dead one must not
+            # fail the sweep here — the unweighted deal is always
+            # correct, and the real submit path retries properly.
+            return [1] * self._inner.n_workers
+
     def finalize(self, fn: Callable, payload: tuple = ()) -> None:
         try:
             self._inner.finalize(fn, payload)

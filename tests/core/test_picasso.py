@@ -131,7 +131,22 @@ class TestIterationTrace:
         assert first.list_size >= 1
         assert r.max_conflict_edges >= 0
         phases = r.phase_times()
-        assert set(phases) == {"assignment", "conflict_graph", "conflict_coloring"}
+        assert set(phases) == {
+            "assignment", "conflict_graph", "conflict_coloring",
+            "sweep", "assemble", "edge_sweep",
+        }
+        # Default run is fused: the dispatcher edge sweep is eliminated
+        # and the build splits into its sweep/assemble sub-buckets.
+        assert all(s.fused for s in r.iterations)
+        assert phases["edge_sweep"] == 0.0
+        assert phases["sweep"] > 0.0
+        assert phases["assemble"] > 0.0
+
+    def test_unfused_edge_sweep_measured(self):
+        ps = random_pauli_set(100, 6, seed=7)
+        r = picasso_color(ps, PicassoParams(fused=False), seed=0)
+        assert not any(s.fused for s in r.iterations)
+        assert r.phase_times()["edge_sweep"] > 0.0
 
     def test_active_counts_decrease(self):
         ps = random_pauli_set(150, 6, seed=8)

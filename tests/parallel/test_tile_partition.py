@@ -9,6 +9,7 @@ from repro.device.tiles import iter_tiles, upper_triangle_mask
 from repro.parallel.partition import (
     TileBlock,
     block_pair_count,
+    partition_pairs,
     partition_tiles,
     tile_grid,
 )
@@ -96,3 +97,138 @@ class TestPartitionTiles:
     def test_invalid_parts(self):
         with pytest.raises(ValueError):
             partition_tiles(10, 64, 0)
+
+
+_shares = st.lists(
+    st.integers(min_value=1, max_value=9), min_size=1, max_size=12
+)
+
+
+class TestWeightedPartition:
+    """Property tests for the capacity-weighted partitioners (PR 7)."""
+
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=1, max_value=97),
+        _shares,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tiles_weighted_balance_within_one_tile(self, n, tile, shares):
+        """Strip k's pair weight is within one tile's weight of its
+        proportional quota total * shares[k] / sum(shares)."""
+        grid = tile_grid(n, tile)
+        weights = [block_pair_count(*b) for b in grid]
+        w_max = max(weights, default=0)
+        total = num_pairs(n)
+        blocks = partition_tiles(
+            n, tile, len(shares), shares=shares, keep_empty=True
+        )
+        assert len(blocks) == len(shares)
+        assert sum(b.n_pairs for b in blocks) == total
+        prev_stop = 0
+        for b, share in zip(blocks, shares):
+            assert b.start == prev_stop or total == 0
+            prev_stop = b.stop
+            quota = total * share / sum(shares)
+            assert abs(b.n_pairs - quota) < w_max + 1
+
+    @given(
+        st.integers(min_value=0, max_value=300),
+        _shares,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pairs_weighted_balance_within_one_pair(self, n, shares):
+        total = num_pairs(n)
+        ranges = partition_pairs(
+            n, len(shares), shares=shares, keep_empty=True
+        )
+        assert len(ranges) == len(shares)
+        assert sum(len(r) for r in ranges) == total
+        prev_stop = 0
+        for r, share in zip(ranges, shares):
+            assert r.start == prev_stop
+            prev_stop = r.stop
+            quota = total * share / sum(shares)
+            assert abs(len(r) - quota) <= 1
+        assert prev_stop == total
+
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=1, max_value=97),
+        _shares,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, n, tile, shares):
+        """Same inputs -> same partition, across call sites and list vs
+        array share types (the bit-identity contract rests on this)."""
+        a = partition_tiles(n, tile, len(shares), shares=shares, keep_empty=True)
+        b = partition_tiles(
+            n, tile, len(shares),
+            shares=np.asarray(shares, dtype=np.int64), keep_empty=True,
+        )
+        assert a == b
+        pa = partition_pairs(n, len(shares), shares=shares, keep_empty=True)
+        pb = partition_pairs(n, len(shares), shares=list(shares), keep_empty=True)
+        assert pa == pb
+
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=1, max_value=97),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_shares_reproduce_unweighted(self, n, tile, parts):
+        """Equal tile shares are a strict generalization: byte-exact
+        match with the classic partition (with empties dropped).  The
+        pairs partitioner's classic path front-loads remainders
+        (divmod) while quotas spread them, so for pairs only the cover
+        and the one-pair balance are shared — exactness there is not
+        load-bearing (uniform capacities take the classic path)."""
+        classic = partition_tiles(n, tile, parts)
+        weighted = partition_tiles(
+            n, tile, parts, shares=[3] * parts, keep_empty=True
+        )
+        kept = [b for b in weighted if len(b)] or [TileBlock(0, 0, 0)]
+        assert kept == classic
+        pw = partition_pairs(n, parts, shares=[5] * parts, keep_empty=True)
+        assert sum(len(r) for r in pw) == num_pairs(n)
+        assert all(
+            abs(len(r) - num_pairs(n) / parts) <= 1 for r in pw
+        )
+
+    def test_one_strip(self):
+        assert partition_tiles(37, 8, 1, shares=[4], keep_empty=True) == (
+            partition_tiles(37, 8, 1)
+        )
+        assert partition_pairs(37, 1, shares=[4], keep_empty=True) == (
+            partition_pairs(37, 1)
+        )
+
+    def test_zero_pair_grid_keeps_all_strips(self):
+        blocks = partition_tiles(1, 64, 4, shares=[1, 2, 3, 4], keep_empty=True)
+        assert blocks == [TileBlock(0, 0, 0)] * 4
+
+    def test_more_strips_than_tiles_keeps_empties_in_place(self):
+        """With more strips than tiles the surplus strips are empty but
+        stay at their positional index (the deal alignment)."""
+        shares = [1] * 8
+        blocks = partition_tiles(10, 64, 8, shares=shares, keep_empty=True)
+        assert len(blocks) == 8
+        assert sum(b.n_pairs for b in blocks) == num_pairs(10)
+        assert sum(1 for b in blocks if len(b)) == 1
+
+    def test_extreme_skew_starves_light_strips(self):
+        """A dominant share takes (nearly) everything; tiny shares can
+        legitimately come out empty but positions are kept."""
+        n, tile = 120, 16
+        shares = [1, 1000, 1]
+        blocks = partition_tiles(n, tile, 3, shares=shares, keep_empty=True)
+        assert len(blocks) == 3
+        assert blocks[1].n_pairs >= 0.9 * num_pairs(n)
+
+    def test_invalid_shares(self):
+        for bad in ([0, 1], [-1, 2], [1, 2, 3]):
+            with pytest.raises(ValueError):
+                partition_tiles(10, 8, 2, shares=bad)
+            with pytest.raises(ValueError):
+                partition_pairs(10, 2, shares=bad)
