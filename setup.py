@@ -1,5 +1,20 @@
-"""Shim for legacy editable installs (no `wheel` package on the CI box)."""
+"""Setup shim for legacy editable installs (no `wheel` package on the
+CI box).  The ``py.typed`` marker must travel with the package so
+installed consumers get the inline annotations (PEP 561)."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-picasso",
+    version="0.8.0",
+    description=(
+        "Reproduction of Picasso: GPU graph coloring for Pauli-string "
+        "grouping"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    zip_safe=False,
+)

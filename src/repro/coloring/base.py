@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -42,7 +43,7 @@ class ColoringResult:
     algorithm: str
     peak_bytes: int = 0
     elapsed_s: float = 0.0
-    stats: dict = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
     engine: str = ""
     n_rounds: int = 1
 

@@ -36,8 +36,9 @@ memory lands in the same ledger as the conflict build's buffers.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, field
-from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -48,6 +49,10 @@ from repro.coloring.greedy_list import (
 )
 from repro.coloring.parallel_list import parallel_list_color
 from repro.graphs.csr import CSRGraph
+
+if TYPE_CHECKING:
+    from repro.device.sim import DeviceSim
+    from repro.parallel.executor import Executor
 
 __all__ = [
     "ListColoringOutcome",
@@ -73,7 +78,7 @@ class ListColoringOutcome:
     engine: str
     n_rounds: int = 1
     peak_bytes: int = 0
-    stats: dict = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
 
 
 class ListColoringEngine(ABC):
@@ -91,8 +96,8 @@ class ListColoringEngine(ABC):
         gc: CSRGraph,
         col_lists: np.ndarray,
         rng: np.random.Generator | int | None = None,
-        executor=None,
-        device=None,
+        executor: Executor | None = None,
+        device: DeviceSim | None = None,
     ) -> ListColoringOutcome:
         """List-color ``gc`` from ``col_lists``.
 
@@ -102,7 +107,9 @@ class ListColoringEngine(ABC):
         allocation.
         """
 
-    def _scratch(self, device, nbytes: int):
+    def _scratch(
+        self, device: DeviceSim | None, nbytes: int
+    ) -> AbstractContextManager[Any]:
         """Charge palette scratch to the device ledger for the run."""
         if device is None:
             return nullcontext()
@@ -139,7 +146,7 @@ def available_engines() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def get_engine(name: str, **knobs) -> ListColoringEngine:
+def get_engine(name: str, **knobs: Any) -> ListColoringEngine:
     """Instantiate a registered engine with engine-specific knobs.
 
     Unknown knobs are rejected by the engine constructor, unknown names
@@ -160,7 +167,14 @@ class GreedyDynamicEngine(ListColoringEngine):
 
     name = "greedy-dynamic"
 
-    def color(self, gc, col_lists, rng=None, executor=None, device=None):
+    def color(
+        self,
+        gc: CSRGraph,
+        col_lists: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+        executor: Executor | None = None,
+        device: DeviceSim | None = None,
+    ) -> ListColoringOutcome:
         masks_nbytes = self._masks_nbytes(col_lists)
         # Masks + sizes/pos/bucket int arrays (~3 words per vertex).
         scratch = masks_nbytes + 3 * gc.n_vertices * 8
@@ -179,7 +193,14 @@ class GreedySetsEngine(ListColoringEngine):
 
     name = "sets"
 
-    def color(self, gc, col_lists, rng=None, executor=None, device=None):
+    def color(
+        self,
+        gc: CSRGraph,
+        col_lists: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+        executor: Executor | None = None,
+        device: DeviceSim | None = None,
+    ) -> ListColoringOutcome:
         col_lists = np.asarray(col_lists)
         # Python sets cost far more than packed words; charge the
         # classic ~64 B/entry estimate so the ledger reflects why the
@@ -203,7 +224,14 @@ class GreedyStaticEngine(ListColoringEngine):
     def __init__(self, order: str = "natural") -> None:
         self.order = order
 
-    def color(self, gc, col_lists, rng=None, executor=None, device=None):
+    def color(
+        self,
+        gc: CSRGraph,
+        col_lists: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+        executor: Executor | None = None,
+        device: DeviceSim | None = None,
+    ) -> ListColoringOutcome:
         scratch = 2 * gc.n_vertices * 8  # perm + taken-colors scratch
         with self._scratch(device, scratch):
             colors, vu = greedy_list_color_static(
@@ -228,7 +256,14 @@ class ParallelListEngine(ListColoringEngine):
     def __init__(self, max_rounds: int | None = None) -> None:
         self.max_rounds = max_rounds
 
-    def color(self, gc, col_lists, rng=None, executor=None, device=None):
+    def color(
+        self,
+        gc: CSRGraph,
+        col_lists: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+        executor: Executor | None = None,
+        device: DeviceSim | None = None,
+    ) -> ListColoringOutcome:
         # Candidate + forbidden bitsets, both resident for the run.
         scratch = 2 * self._masks_nbytes(col_lists) + 3 * gc.n_vertices * 8
         with self._scratch(device, scratch):

@@ -122,16 +122,16 @@ def _strip_tasks(m: int, executor: Executor) -> list[tuple[int, int]]:
     Heterogeneous backends (hierarchical agents advertising their inner
     pool size) get capacity-weighted strip sizes through the same
     positional-deal principle as the conflict sweep
-    (:func:`repro.parallel.pool._strip_shares`): strip ``k`` is sized
+    (:func:`repro.parallel.pool.strip_shares`): strip ``k`` is sized
     for the slot the ``tasks[k::n]`` deal sends it to.  Round picks are
     pure functions of the committed state, so strip boundaries never
     change the output — weighting is purely a throughput knob.  Empty
     strips stay in place under weighting to keep the deal aligned.
     """
-    from repro.parallel.pool import TASKS_PER_WORKER, _strip_shares
+    from repro.parallel.pool import TASKS_PER_WORKER, strip_shares
 
     n_tasks = max(1, executor.n_workers) * TASKS_PER_WORKER
-    shares = _strip_shares(executor, n_tasks)
+    shares = strip_shares(executor, n_tasks)
     if shares is None:
         bounds = np.linspace(0, m, n_tasks + 1).astype(np.int64)
         return [

@@ -13,10 +13,10 @@ from repro.core.analysis import (
     share_probability_upper_bound,
     sublinear_space_bound,
 )
-from repro.coloring.greedy_list import (
-    # Via the engine home, not the deprecated repro.core.list_coloring
-    # shim — importing repro.core must not trip the shim's
-    # DeprecationWarning.
+from repro.coloring import (
+    # Via the coloring package's public API, not the deprecated
+    # repro.core.list_coloring shim — importing repro.core must not
+    # trip the shim's DeprecationWarning.
     greedy_list_color_dynamic,
     greedy_list_color_static,
 )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import warnings
 
-from repro.coloring.greedy_list import (
+from repro.coloring import (
     greedy_list_color_dynamic,
     greedy_list_color_dynamic_sets,
     greedy_list_color_static,

@@ -115,11 +115,13 @@ class LocalCluster:
         # the broadcast bound is generous enough for that.
         if not recv.poll(BROADCAST_TIMEOUT_S):
             proc.kill()
-            proc.join()
+            proc.join(BROADCAST_TIMEOUT_S)
             raise RuntimeError(
                 "local worker agent failed to start "
                 f"(exitcode={proc.exitcode})"
             )
+        # reprolint: disable=bounded-blocking -- poll(BROADCAST_TIMEOUT_S)
+        # above guarantees data is ready; this recv cannot block.
         bound = recv.recv()
         recv.close()
         return proc, bound
@@ -148,7 +150,7 @@ class LocalCluster:
         """
         proc = self._procs[rank]
         proc.kill()
-        proc.join()
+        proc.join(BROADCAST_TIMEOUT_S)
 
     def restart_worker(self, rank: int) -> None:
         """Replace a (dead) agent with a fresh one on the *same* port.
@@ -160,7 +162,7 @@ class LocalCluster:
         old = self._procs[rank]
         if old.is_alive():
             old.kill()
-        old.join()
+        old.join(BROADCAST_TIMEOUT_S)
         proc, port = self._spawn(self._ports[rank])
         self._procs[rank] = proc
         self._ports[rank] = port
@@ -170,7 +172,7 @@ class LocalCluster:
         for proc in self._procs:
             if proc.is_alive():
                 proc.kill()
-            proc.join()
+            proc.join(BROADCAST_TIMEOUT_S)
         self._procs = []
         self._ports = []
 

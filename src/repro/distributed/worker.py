@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import socket
+import sys
 import traceback
 import uuid
 
@@ -298,9 +299,11 @@ def serve(
 ) -> None:
     """Bind and serve until a shutdown RPC (blocking convenience)."""
     agent = WorkerAgent(host, port, inner_workers=inner_workers)
-    # flush: operators (and tests) read the bound port through a pipe.
+    # stderr, flushed: stdout may be captured by a launcher, and
+    # operators (and tests) read the bound port through a pipe anyway.
     print(
         f"repro worker agent listening on {agent.host}:{agent.port}",
+        file=sys.stderr,
         flush=True,
     )
     agent.serve_forever()

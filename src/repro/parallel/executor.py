@@ -40,10 +40,12 @@ leaves ownership with the caller.
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.pool as mp_pool
 import os
 from abc import ABC, abstractmethod
-from collections.abc import Callable, Iterator, Sequence
+from collections.abc import Callable, Hashable, Iterator, Sequence
 from contextlib import contextmanager
+from typing import Any
 
 __all__ = [
     "Executor",
@@ -132,10 +134,12 @@ def pin_current_worker(rank: int) -> bool:
 # exactly once (a worker that finished its install blocks on the
 # barrier, so the next install task must go to a different worker).
 
-_POOL_LOCAL: dict = {}
+_POOL_LOCAL: dict[str, Any] = {}
 
 
-def _bootstrap_pool_worker(rank_counter, barrier, pin: bool) -> None:
+def _bootstrap_pool_worker(
+    rank_counter: Any, barrier: Any, pin: bool
+) -> None:
     with rank_counter.get_lock():
         rank = rank_counter.value
         rank_counter.value += 1
@@ -144,7 +148,7 @@ def _bootstrap_pool_worker(rank_counter, barrier, pin: bool) -> None:
     _POOL_LOCAL["pinned"] = pin_current_worker(rank) if pin else False
 
 
-def _broadcast_task(arg) -> None:
+def _broadcast_task(arg: tuple[Callable[..., Any], tuple[Any, ...]]) -> None:
     fn, payload = arg
     barrier = _POOL_LOCAL.get("barrier")
     try:
@@ -160,7 +164,7 @@ def _broadcast_task(arg) -> None:
         barrier.wait(BROADCAST_TIMEOUT_S)
 
 
-def token_channel(token):
+def token_channel(token: Hashable) -> Hashable:
     """The namespace a payload token installs under.
 
     Workers keep one token-cached static payload *per consumer module*
@@ -206,15 +210,15 @@ class Executor(ABC):
     def __init__(self) -> None:
         #: Installed payload token per channel (see :func:`token_channel`);
         #: empty when nothing is installed or the pool has been recycled.
-        self._tokens: dict = {}
-        self._last_token = None
+        self._tokens: dict[Hashable, Hashable] = {}
+        self._last_token: Hashable = None
 
     @property
-    def _installed_token(self):
+    def _installed_token(self) -> Hashable:
         """Most recently installed payload token (diagnostics/tests)."""
         return self._last_token
 
-    def _record_install(self, token) -> None:
+    def _record_install(self, token: Hashable) -> None:
         if token is None:
             # A tokenless initializer gives no contract about which
             # worker-side caches it clobbered, so every channel's
@@ -232,12 +236,12 @@ class Executor(ABC):
     @abstractmethod
     def imap(
         self,
-        task_fn: Callable,
-        tasks: Sequence,
-        initializer: Callable | None = None,
-        payload: tuple = (),
-        payload_token=None,
-    ) -> Iterator:
+        task_fn: Callable[..., Any],
+        tasks: Sequence[Any],
+        initializer: Callable[..., Any] | None = None,
+        payload: tuple[Any, ...] = (),
+        payload_token: Hashable = None,
+    ) -> Iterator[Any]:
         """Run ``task_fn`` over ``tasks``, returning an iterator of
         results in task order — the streaming form consumers use when
         results feed a bounded buffer (e.g. the device COO stream).
@@ -260,18 +264,18 @@ class Executor(ABC):
 
     def map(
         self,
-        task_fn: Callable,
-        tasks: Sequence,
-        initializer: Callable | None = None,
-        payload: tuple = (),
-        payload_token=None,
-    ) -> list:
+        task_fn: Callable[..., Any],
+        tasks: Sequence[Any],
+        initializer: Callable[..., Any] | None = None,
+        payload: tuple[Any, ...] = (),
+        payload_token: Hashable = None,
+    ) -> list[Any]:
         """Run ``task_fn`` over ``tasks``; all results, in task order."""
         return list(
             self.imap(task_fn, tasks, initializer, payload, payload_token)
         )
 
-    def holds_token(self, token) -> bool:
+    def holds_token(self, token: Hashable) -> bool:
         """True when the workers still hold the payload installed under
         ``token`` (same live pool, no recycle since) — the signal that a
         delta payload suffices for the next install.  Tokens are tracked
@@ -292,7 +296,9 @@ class Executor(ABC):
         weight (see :func:`repro.parallel.pool.sweep_strip_tasks`)."""
         return [1] * self.n_workers
 
-    def finalize(self, fn: Callable, payload: tuple = ()) -> None:
+    def finalize(
+        self, fn: Callable[..., Any], payload: tuple[Any, ...] = ()
+    ) -> None:
         """Run a cleanup function once per worker after a sweep.
 
         The dispatcher calls this in a ``finally`` to drop per-sweep
@@ -308,7 +314,7 @@ class Executor(ABC):
     def __enter__(self) -> "Executor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -386,10 +392,10 @@ class PoolExecutor(Executor):
         self.n_workers = n_workers
         self.start_method = start_method
         self.pin = pin
-        self._pool = None
+        self._pool: mp_pool.Pool | None = None
         #: Worker pid set at install time, per token channel — a
         #: respawned worker invalidates the delta path for a channel.
-        self._token_pids: dict = {}
+        self._token_pids: dict[Hashable, list[int] | None] = {}
         self._streaming = False
 
     def resolved_start_method(self) -> str:
@@ -415,21 +421,25 @@ class PoolExecutor(Executor):
         except AttributeError:  # pragma: no cover - future interpreters
             return None
 
-    def _ensure_pool(self):
-        if self._pool is None:
+    def _ensure_pool(self) -> mp_pool.Pool:
+        pool = self._pool
+        if pool is None:
             ctx = mp.get_context(self.resolved_start_method())
             rank_counter = ctx.Value("i", 0)
             barrier = ctx.Barrier(self.n_workers)
-            self._pool = ctx.Pool(
+            pool = ctx.Pool(
                 self.n_workers,
                 initializer=_bootstrap_pool_worker,
                 initargs=(rank_counter, barrier, self.pin),
             )
+            self._pool = pool
             self._clear_tokens()
             self._token_pids.clear()
-        return self._pool
+        return pool
 
-    def _broadcast(self, fn: Callable, payload: tuple) -> None:
+    def _broadcast(
+        self, fn: Callable[..., Any], payload: tuple[Any, ...]
+    ) -> None:
         pool = self._ensure_pool()
         try:
             # chunksize=1 so the n_workers install tasks go to n_workers
@@ -457,7 +467,7 @@ class PoolExecutor(Executor):
             self._recycle()
             raise
 
-    def _stream(self, result_iter) -> Iterator:
+    def _stream(self, result_iter: mp_pool.IMapIterator) -> Iterator[Any]:
         """Yield pool results with a bounded per-result wait; recycle
         the pool if the stream is abandoned mid-sweep or wedged."""
         done = False
@@ -488,13 +498,15 @@ class PoolExecutor(Executor):
     def _recycle(self) -> None:
         if self._pool is not None:
             self._pool.terminate()
+            # reprolint: disable=bounded-blocking -- mp.Pool.join() takes
+            # no timeout; terminate() above SIGTERMs the workers first.
             self._pool.join()
             self._pool = None
         self._clear_tokens()
         self._token_pids.clear()
         self._streaming = False
 
-    def holds_token(self, token) -> bool:
+    def holds_token(self, token: Hashable) -> bool:
         """A pool additionally demands the worker set is unchanged: a
         worker that died was auto-respawned by ``multiprocessing`` with
         an empty payload cache, so a delta-only install would strand it
@@ -510,12 +522,12 @@ class PoolExecutor(Executor):
 
     def imap(
         self,
-        task_fn: Callable,
-        tasks: Sequence,
-        initializer: Callable | None = None,
-        payload: tuple = (),
-        payload_token=None,
-    ) -> Iterator:
+        task_fn: Callable[..., Any],
+        tasks: Sequence[Any],
+        initializer: Callable[..., Any] | None = None,
+        payload: tuple[Any, ...] = (),
+        payload_token: Hashable = None,
+    ) -> Iterator[Any]:
         tasks = list(tasks)
         if not tasks:
             return iter(())
@@ -546,7 +558,9 @@ class PoolExecutor(Executor):
         self._streaming = True
         return self._stream(pool.imap(task_fn, tasks))
 
-    def broadcast(self, fn: Callable, payload: tuple = ()) -> None:
+    def broadcast(
+        self, fn: Callable[..., Any], payload: tuple[Any, ...] = ()
+    ) -> None:
         """Run ``fn(*payload)`` once in every pool worker, eagerly.
 
         The install primitive ``imap`` uses internally, exposed for
@@ -558,7 +572,9 @@ class PoolExecutor(Executor):
         end-to-end; tracking them here too would double-count)."""
         self._broadcast(fn, payload)
 
-    def finalize(self, fn: Callable, payload: tuple = ()) -> None:
+    def finalize(
+        self, fn: Callable[..., Any], payload: tuple[Any, ...] = ()
+    ) -> None:
         if self._pool is not None:
             try:
                 self._broadcast(fn, payload)
@@ -572,6 +588,8 @@ class PoolExecutor(Executor):
     def close(self) -> None:
         if self._pool is not None:
             self._pool.close()
+            # reprolint: disable=bounded-blocking -- mp.Pool.join() takes
+            # no timeout; close() stops intake so idle workers exit.
             self._pool.join()
             self._pool = None
         self._clear_tokens()
@@ -590,7 +608,7 @@ def make_executor(
     n_workers: int = 1,
     start_method: str | None = None,
     pin: bool = False,
-    hosts=None,
+    hosts: str | Sequence[str] | None = None,
     transport: str = "socket",
 ) -> Executor:
     """Resolve an executor spec to a backend instance.
@@ -640,9 +658,9 @@ def owned_executor(
     n_workers: int = 1,
     start_method: str | None = None,
     pin: bool = False,
-    hosts=None,
+    hosts: str | Sequence[str] | None = None,
     transport: str = "socket",
-):
+) -> Iterator[Executor]:
     """The executor-lifecycle contract as a context manager.
 
     Resolves ``spec`` like :func:`make_executor` and, on exit, closes

@@ -20,6 +20,7 @@ paper's CUDA grid uses.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,6 +36,10 @@ __all__ = [
     "partition_tiles",
 ]
 
+#: Per-part capacity weights: any 1-D integer sequence (one positive
+#: entry per part), e.g. the executor's advertised worker capacities.
+ShareSpec = Sequence[int] | np.ndarray
+
 
 @dataclass(frozen=True)
 class PairRange:
@@ -47,7 +52,7 @@ class PairRange:
         return self.stop - self.start
 
 
-def _check_shares(shares, n_parts: int) -> np.ndarray:
+def _check_shares(shares: ShareSpec, n_parts: int) -> np.ndarray:
     arr = np.asarray(shares, dtype=np.int64)
     if arr.ndim != 1 or len(arr) != n_parts:
         raise ValueError("shares must have one entry per part")
@@ -57,7 +62,10 @@ def _check_shares(shares, n_parts: int) -> np.ndarray:
 
 
 def partition_pairs(
-    n: int, n_parts: int, shares=None, keep_empty: bool = False
+    n: int,
+    n_parts: int,
+    shares: ShareSpec | None = None,
+    keep_empty: bool = False,
 ) -> list[PairRange]:
     """Split the pair space of ``n`` vertices into ``n_parts`` balanced
     contiguous ranges (sizes differ by at most one pair).
@@ -74,7 +82,7 @@ def partition_pairs(
     if n_parts < 1:
         raise ValueError("n_parts must be >= 1")
     total = num_pairs(n)
-    out = []
+    out: list[PairRange] = []
     if shares is None:
         base, extra = divmod(total, n_parts)
         start = 0
@@ -137,7 +145,11 @@ def block_pair_count(r0: int, r1: int, c0: int, c1: int) -> int:
 
 
 def partition_tiles(
-    n: int, tile: int, n_parts: int, shares=None, keep_empty: bool = False
+    n: int,
+    tile: int,
+    n_parts: int,
+    shares: ShareSpec | None = None,
+    keep_empty: bool = False,
 ) -> list[TileBlock]:
     """Split the tile grid into ``n_parts`` contiguous strips balanced
     by pair weight.
@@ -180,7 +192,7 @@ def partition_tiles(
         targets = (total * csum[:-1]) // int(csum[-1])
     cuts = np.searchsorted(prefix, targets, side="left") + 1
     bounds = [0, *cuts.tolist(), len(grid)]
-    out = []
+    out: list[TileBlock] = []
     for a, b in zip(bounds[:-1], bounds[1:]):
         if b > a:
             w = int(prefix[b - 1]) - (int(prefix[a - 1]) if a else 0)

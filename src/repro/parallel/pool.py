@@ -93,6 +93,7 @@ __all__ = [
     "imap_delta_install",
     "PayloadNotInstalled",
     "TASKS_PER_WORKER",
+    "strip_shares",
 ]
 
 
@@ -405,7 +406,7 @@ def _run_block_strip(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
     return block_hits_strip(_WORKER["block_fn"], _WORKER["grid"][start:stop])
 
 
-def _strip_shares(executor: Executor, n_tasks: int) -> list[int] | None:
+def strip_shares(executor: Executor, n_tasks: int) -> list[int] | None:
     """Capacity shares for the weighted strip deal, or ``None`` for the
     classic equal-share partition.
 
@@ -441,7 +442,7 @@ def sweep_strip_tasks(
     empty strips in place so the ``tasks[k::n]`` alignment holds."""
     n_workers = max(1, executor.n_workers)
     n_tasks = n_workers * TASKS_PER_WORKER
-    shares = _strip_shares(executor, n_tasks)
+    shares = strip_shares(executor, n_tasks)
     keep = shares is not None
     if engine == "tiled":
         blocks = partition_tiles(

@@ -44,7 +44,8 @@ from __future__ import annotations
 import os
 import threading
 import time
-from collections.abc import Callable, Iterator, Sequence
+from collections.abc import Callable, Hashable, Iterator, Sequence
+from typing import Any
 
 from repro.distributed.transport import TransportError
 from repro.parallel.executor import (
@@ -171,7 +172,7 @@ class ResilientExecutor(Executor):
     def supports_shm_gather(self) -> bool:  # type: ignore[override]
         return self._inner.supports_shm_gather
 
-    def holds_token(self, token) -> bool:
+    def holds_token(self, token: Hashable) -> bool:
         # Delegated, not tracked locally: after a recycle or failover
         # the *current* backend holds nothing, which is exactly what
         # makes delta-aware payload builders come out full on retry.
@@ -186,7 +187,9 @@ class ResilientExecutor(Executor):
             # correct, and the real submit path retries properly.
             return [1] * self._inner.n_workers
 
-    def finalize(self, fn: Callable, payload: tuple = ()) -> None:
+    def finalize(
+        self, fn: Callable[..., Any], payload: tuple[Any, ...] = ()
+    ) -> None:
         try:
             self._inner.finalize(fn, payload)
         except RECOVERABLE:
@@ -234,7 +237,12 @@ class ResilientExecutor(Executor):
         if delay > 0:
             self._sleep(delay)
 
-    def _submit(self, tasks: list, submit: Callable, state: _OpState):
+    def _submit(
+        self,
+        tasks: list[Any],
+        submit: Callable[..., Iterator[Any]],
+        state: _OpState,
+    ) -> Iterator[Any]:
         """One successful submission of the remaining tasks (the
         install/dispatch half of an operation, which the Executor
         contract makes eager)."""
@@ -246,11 +254,13 @@ class ResilientExecutor(Executor):
             except RECOVERABLE as exc:
                 self._after_failure(exc, state)
 
-    def _supervised(self, tasks: list, submit: Callable) -> Iterator:
+    def _supervised(
+        self, tasks: list[Any], submit: Callable[..., Iterator[Any]]
+    ) -> Iterator[Any]:
         state = _OpState()
         stream = self._submit(tasks, submit, state)
 
-        def results() -> Iterator:
+        def results() -> Iterator[Any]:
             nonlocal stream
             while True:
                 try:
@@ -272,17 +282,19 @@ class ResilientExecutor(Executor):
 
     def imap(
         self,
-        task_fn: Callable,
-        tasks: Sequence,
-        initializer: Callable | None = None,
-        payload: tuple = (),
-        payload_token=None,
-    ) -> Iterator:
+        task_fn: Callable[..., Any],
+        tasks: Sequence[Any],
+        initializer: Callable[..., Any] | None = None,
+        payload: tuple[Any, ...] = (),
+        payload_token: Hashable = None,
+    ) -> Iterator[Any]:
         tasks = list(tasks)
         if not tasks:
             return iter(())
 
-        def submit(inner, remaining, _retrying):
+        def submit(
+            inner: Executor, remaining: list[Any], _retrying: bool
+        ) -> Iterator[Any]:
             # A plain payload is self-contained (no delta against a
             # worker-side cache), so every attempt re-sends it as-is.
             return inner.imap(
@@ -293,8 +305,12 @@ class ResilientExecutor(Executor):
         return self._supervised(tasks, submit)
 
     def imap_with_payload(
-        self, task_fn, tasks, initializer, make_payload
-    ) -> Iterator:
+        self,
+        task_fn: Callable[..., Any],
+        tasks: Sequence[Any],
+        initializer: Callable[..., Any],
+        make_payload: Callable[[bool], tuple[Any, Hashable, bool]],
+    ) -> Iterator[Any]:
         """The supervised form of
         :func:`repro.parallel.pool.imap_delta_install`: the payload is
         re-materialized via ``make_payload`` on every attempt, so a
@@ -312,7 +328,9 @@ class ResilientExecutor(Executor):
         if not tasks:
             return iter(())
 
-        def submit(inner, remaining, retrying):
+        def submit(
+            inner: Executor, remaining: list[Any], retrying: bool
+        ) -> Iterator[Any]:
             payload, token, _ = make_payload(bool(retrying))
             return inner.imap(
                 task_fn, remaining, initializer=initializer,
@@ -326,7 +344,7 @@ class ResilientExecutor(Executor):
         return f"ResilientExecutor({self._inner!r}{chain})"
 
 
-def _parse_chain(failover) -> list[str]:
+def _parse_chain(failover: str | Sequence[str] | None) -> list[str]:
     if failover is None:
         return []
     if isinstance(failover, str):
@@ -346,9 +364,9 @@ def supervised_executor(
     n_workers: int = 1,
     start_method: str | None = None,
     pin: bool = False,
-    hosts=None,
+    hosts: str | Sequence[str] | None = None,
     transport: str = "socket",
-    failover=None,
+    failover: str | Sequence[str] | None = None,
     max_retries: int | None = None,
     backoff_base_s: float | None = None,
 ) -> Executor:
@@ -371,7 +389,7 @@ def supervised_executor(
             spec, n_workers, start_method, pin, hosts, transport
         )
 
-    def build(entry):
+    def build(entry: str | Executor) -> Executor:
         ex = make_executor(
             entry, n_workers, start_method, pin, hosts, transport
         )
@@ -380,7 +398,7 @@ def supervised_executor(
         # impossible (no survivors, dispatch/install failure) does the
         # failure reach the supervisor's retry/failover machinery.
         if hasattr(ex, "redistribute"):
-            ex.redistribute = True
+            setattr(ex, "redistribute", True)
         return ex
 
     return ResilientExecutor(

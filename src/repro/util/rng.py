@@ -9,6 +9,8 @@ use of five distinct seeds per experiment).
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 
@@ -30,7 +32,7 @@ def spawn_generators(
     return list(as_generator(seed).spawn(n))
 
 
-def rng_state(gen: np.random.Generator) -> dict:
+def rng_state(gen: np.random.Generator) -> dict[str, Any]:
     """The bit-generator state of ``gen`` — a plain, picklable dict.
 
     This is the exact object the checkpoint format persists: restoring
@@ -40,7 +42,9 @@ def rng_state(gen: np.random.Generator) -> dict:
     return gen.bit_generator.state
 
 
-def set_rng_state(gen: np.random.Generator, state: dict) -> np.random.Generator:
+def set_rng_state(
+    gen: np.random.Generator, state: dict[str, Any]
+) -> np.random.Generator:
     """Restore a state captured by :func:`rng_state`; returns ``gen``.
 
     The state dict names its bit-generator class, and numpy refuses a

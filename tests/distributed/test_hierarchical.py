@@ -104,14 +104,14 @@ class TestHierarchicalAgent:
     def test_heterogeneous_capacities_weighted_and_identical(self):
         """Mixed flat + hierarchical agents trigger the capacity-
         weighted strip deal; the result is still bit-identical."""
-        from repro.parallel.pool import _strip_shares
+        from repro.parallel.pool import strip_shares
 
         src, masks, ref, m_ref = _problem()
         with LocalCluster(1) as flat, LocalCluster(1, inner_workers=3) as hier:
             hosts = flat.hosts + hier.hosts
             with ClusterExecutor(hosts) as ex:
                 assert ex.worker_capacities() == [1, 3]
-                assert _strip_shares(ex, 6) == [1, 3, 1, 3, 1, 3]
+                assert strip_shares(ex, 6) == [1, 3, 1, 3, 1, 3]
                 got, m_got = _build(src, masks, ex)
         _assert_identical(got, m_got, ref, m_ref)
 

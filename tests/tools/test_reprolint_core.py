@@ -1,0 +1,223 @@
+"""Framework tests: suppressions, scoping, collection, reporters, CLI."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint.core import (
+    Finding,
+    Suppressions,
+    collect_files,
+    lint_file,
+    lint_paths,
+)
+from tools.reprolint.cli import main, render_json, render_text
+from tools.reprolint.rules import ALL_RULES
+
+
+def _write(root: Path, rel: str, source: str) -> str:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return rel
+
+
+def _lint(root: Path, rel: str, source: str) -> list[Finding]:
+    _write(root, rel, source)
+    return lint_file(rel, ALL_RULES, root=str(root))
+
+
+class TestSuppressions:
+    def test_same_line(self):
+        sup = Suppressions(["x = 1  # reprolint: disable=some-rule"])
+        assert sup.is_suppressed("some-rule", 1)
+        assert not sup.is_suppressed("other-rule", 1)
+        assert not sup.is_suppressed("some-rule", 2)
+
+    def test_standalone_guards_next_statement(self):
+        sup = Suppressions(
+            [
+                "# reprolint: disable=rule-a",
+                "x = 1",
+            ]
+        )
+        assert sup.is_suppressed("rule-a", 2)
+
+    def test_standalone_skips_trailing_comment_lines(self):
+        sup = Suppressions(
+            [
+                "# reprolint: disable=rule-a -- justification that",
+                "# wraps onto a second comment line.",
+                "",
+                "x = 1",
+            ]
+        )
+        assert sup.is_suppressed("rule-a", 4)
+
+    def test_justification_not_parsed_as_rule(self):
+        sup = Suppressions(
+            ["x = 1  # reprolint: disable=rule-a -- because reasons"]
+        )
+        assert sup.is_suppressed("rule-a", 1)
+        assert not sup.is_suppressed("because", 1)
+
+    def test_multiple_rules(self):
+        sup = Suppressions(["x  # reprolint: disable=rule-a, rule-b"])
+        assert sup.is_suppressed("rule-a", 1)
+        assert sup.is_suppressed("rule-b", 1)
+
+    def test_file_wide(self):
+        sup = Suppressions(["# reprolint: disable-file=rule-a", "x = 1"])
+        assert sup.is_suppressed("rule-a", 99)
+        assert not sup.is_suppressed("rule-b", 99)
+
+    def test_disable_all(self):
+        sup = Suppressions(["x = 1  # reprolint: disable=all"])
+        assert sup.is_suppressed("anything", 1)
+
+
+class TestCollectAndLint:
+    def test_collect_files_sorted_and_filtered(self, tmp_path):
+        _write(tmp_path, "b.py", "")
+        _write(tmp_path, "a.py", "")
+        _write(tmp_path, "sub/c.py", "")
+        _write(tmp_path, "sub/__pycache__/d.py", "")
+        _write(tmp_path, ".hidden/e.py", "")
+        _write(tmp_path, "notes.txt", "")
+        got = collect_files([str(tmp_path)], root=str(tmp_path))
+        assert got == ["a.py", "b.py", "sub/c.py"]
+
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        findings = _lint(tmp_path, "src/repro/broken.py", "def f(:\n")
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_scope_limits_rules(self, tmp_path):
+        # A bare print outside src/repro/ is not this project's concern.
+        assert _lint(tmp_path, "scripts/x.py", "print('hi')\n") == []
+        assert _lint(tmp_path, "src/repro/x.py", "print('hi')\n") != []
+
+    def test_lint_paths_sorted(self, tmp_path):
+        _write(tmp_path, "src/repro/bb.py", "import random\n")
+        _write(tmp_path, "src/repro/aa.py", "import random\n")
+        findings = lint_paths([str(tmp_path / "src")], root=str(tmp_path))
+        assert [f.path for f in findings] == [
+            "src/repro/aa.py",
+            "src/repro/bb.py",
+        ]
+
+
+class TestReporters:
+    FINDINGS = [
+        Finding(rule="r", path="p.py", line=3, col=7, message="msg")
+    ]
+
+    def test_text(self):
+        text = render_text(self.FINDINGS)
+        assert "p.py:3:7: [r] msg" in text
+        assert "1 finding" in text
+
+    def test_text_plural_zero(self):
+        assert "0 findings" in render_text([])
+
+    def test_json_round_trip(self):
+        doc = json.loads(render_json(self.FINDINGS))
+        assert doc["count"] == 1
+        assert doc["findings"][0] == {
+            "rule": "r",
+            "path": "p.py",
+            "line": 3,
+            "col": 7,
+            "message": "msg",
+        }
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys, monkeypatch):
+        _write(tmp_path, "src/repro/ok.py", "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["src"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_exit_one_on_finding(self, tmp_path, capsys, monkeypatch):
+        _write(tmp_path, "src/repro/bad.py", "import random\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "no-random-module" in out
+
+    def test_json_format(self, tmp_path, capsys, monkeypatch):
+        _write(tmp_path, "src/repro/bad.py", "import random\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["--format", "json", "src"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "no-random-module"
+
+    def test_rule_filter(self, tmp_path, capsys, monkeypatch):
+        _write(
+            tmp_path,
+            "src/repro/bad.py",
+            "import random\nprint('hi')\n",
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["--rule", "no-bare-print", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "no-bare-print" in out
+        assert "no-random-module" not in out
+
+    def test_unknown_rule_usage_error(self, tmp_path, monkeypatch):
+        _write(tmp_path, "src/repro/ok.py", "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["--rule", "nope", "src"]) == 2
+
+    def test_no_paths_usage_error(self):
+        assert main([]) == 2
+
+    def test_no_py_files_usage_error(self, tmp_path, monkeypatch):
+        (tmp_path / "empty").mkdir()
+        monkeypatch.chdir(tmp_path)
+        assert main(["empty"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.name in out
+
+    def test_module_entry_point(self, tmp_path):
+        import tools
+
+        repo_root = Path(tools.__file__).resolve().parents[1]
+        _write(tmp_path, "src/repro/bad.py", "import random\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "src"],
+            cwd=tmp_path,
+            env={"PYTHONPATH": str(repo_root)},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "no-random-module" in proc.stdout
+
+
+class TestRuleCatalog:
+    def test_every_rule_named_and_documented(self):
+        names = [r.name for r in ALL_RULES]
+        assert len(names) == len(set(names)), "duplicate rule names"
+        for rule in ALL_RULES:
+            assert rule.name, type(rule).__name__
+            assert rule.contract, rule.name
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+def test_suppressed_findings_never_reported(tmp_path, capsys, monkeypatch, fmt):
+    _write(
+        tmp_path,
+        "src/repro/bad.py",
+        "import random  # reprolint: disable=no-random-module -- fixture\n",
+    )
+    monkeypatch.chdir(tmp_path)
+    assert main(["--format", fmt, "src"]) == 0

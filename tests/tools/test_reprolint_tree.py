@@ -1,0 +1,54 @@
+"""Integration: the shipped tree satisfies every contract, and the
+typing gate's configuration is coherent."""
+
+from pathlib import Path
+
+from tools.reprolint.core import lint_paths
+from tools.reprolint.typegate import (
+    STRICT_RELAXATIONS,
+    mypy_command,
+    read_allowlist,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_shipped_tree_is_clean():
+    """``python -m tools.reprolint src tests`` exits 0 on this repo.
+
+    Every contract the linter encodes holds on the code that ships; a
+    failure here names the file, line and rule to fix (or the
+    suppression to justify).
+    """
+    findings = lint_paths(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")],
+        root=str(REPO_ROOT),
+    )
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_tools_tree_is_clean_too():
+    findings = lint_paths([str(REPO_ROOT / "tools")], root=str(REPO_ROOT))
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_mypy_allowlist_entries_exist():
+    files = read_allowlist()
+    assert files, "allowlist must not be empty"
+    for rel in files:
+        assert (REPO_ROOT / rel).is_file(), rel
+
+
+def test_mypy_command_is_strict():
+    cmd = mypy_command(["src/repro/util/rng.py"])
+    assert "--strict" in cmd
+    # Relaxations must come after --strict so they win.
+    for flag in STRICT_RELAXATIONS:
+        assert cmd.index(flag) > cmd.index("--strict")
+
+
+def test_py_typed_marker_ships():
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+    assert 'package_data={"repro": ["py.typed"]}' in (
+        REPO_ROOT / "setup.py"
+    ).read_text()

@@ -1,0 +1,1 @@
+"""Developer tooling for the repro tree (not shipped with the library)."""

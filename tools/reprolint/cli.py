@@ -1,0 +1,117 @@
+"""reprolint command line.
+
+Usage::
+
+    python -m tools.reprolint src tests
+    python -m tools.reprolint --format json src
+    python -m tools.reprolint --list-rules
+    python -m tools.reprolint --rule bounded-blocking src/repro/parallel
+
+Exit status: 0 when no findings, 1 when any finding survives
+suppression, 2 on usage errors (unknown rule name, no input files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from tools.reprolint.core import Finding, collect_files, lint_paths
+from tools.reprolint.rules import ALL_RULES
+
+__all__ = ["main", "render_json", "render_text"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: [rule] message`` line per finding plus a
+    summary tail."""
+    lines = [f.render() for f in findings]
+    n = len(findings)
+    lines.append(f"reprolint: {n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON document: ``{"findings": [...], "count": N}``."""
+    doc = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _list_rules() -> str:
+    width = max(len(r.name) for r in ALL_RULES)
+    out = []
+    for r in ALL_RULES:
+        scope = ", ".join(r.scope) if r.scope else "(all files)"
+        out.append(f"{r.name:<{width}}  {scope}")
+        out.append(f"{'':<{width}}  {r.contract}")
+    return "\n".join(out)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Contract-enforcing static analysis for the repro tree.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("reprolint: no input paths", file=sys.stderr)
+        return 2
+
+    rules = list(ALL_RULES)
+    if args.rule:
+        by_name = {r.name: r for r in ALL_RULES}
+        unknown = [n for n in args.rule if n not in by_name]
+        if unknown:
+            print(
+                f"reprolint: unknown rule(s): {', '.join(unknown)} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [by_name[n] for n in args.rule]
+
+    if not collect_files(args.paths):
+        print("reprolint: no .py files under given paths", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(args.paths, rules)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

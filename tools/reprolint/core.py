@@ -1,0 +1,245 @@
+"""reprolint framework core: findings, rules, suppressions, the runner.
+
+A :class:`Rule` is one contract.  It declares a ``name`` (the id used
+in reports and suppression comments), a one-line ``contract`` string, a
+path ``scope`` (tuple of repo-relative prefixes it applies to, with
+optional ``exclude`` prefixes), and a ``check(ctx)`` generator yielding
+:class:`Finding` objects for one file's AST.
+
+Suppression protocol
+--------------------
+``# reprolint: disable=rule-a,rule-b`` on a line suppresses those rules
+for that line *and* (when the comment stands alone on its line) for the
+next statement line — intervening comment/blank lines are transparent,
+so a multi-line justification can sit above the statement it guards.
+``# reprolint: disable-file=rule-a`` anywhere in a file suppresses the
+rule for the whole file.  ``disable=all`` works in both forms.  Text
+after ``--`` is a free-form justification for reviewers.
+
+Paths are normalized repo-relative with forward slashes, so scope
+prefixes like ``src/repro/parallel/`` match regardless of platform or
+how the CLI was invoked.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "Suppressions",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+]
+
+#: ``# reprolint: disable=a,b -- why`` / ``# reprolint: disable-file=a``
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\- ]+)"
+)
+
+#: Comment-only line: nothing but whitespace before the ``#``.
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Suppressions:
+    """Per-file suppression state parsed from the raw source lines."""
+
+    def __init__(self, lines: Sequence[str]) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+        for lineno, text in enumerate(lines, start=1):
+            m = _SUPPRESS_RE.search(text)
+            if m is None:
+                continue
+            # Everything after ``--`` is the reviewer-facing
+            # justification, not a rule name.
+            rule_text = m.group("rules").split("--", 1)[0]
+            rules = {r.strip() for r in rule_text.split(",") if r.strip()}
+            if m.group("kind") == "disable-file":
+                self._file_wide |= rules
+                continue
+            self._by_line.setdefault(lineno, set()).update(rules)
+            if _COMMENT_ONLY_RE.match(text):
+                # A standalone suppression comment guards the next
+                # statement line; intervening comment/blank lines (the
+                # justification may wrap) stay transparent.
+                guard = lineno + 1
+                while guard <= len(lines) and (
+                    not lines[guard - 1].strip()
+                    or _COMMENT_ONLY_RE.match(lines[guard - 1])
+                ):
+                    guard += 1
+                self._by_line.setdefault(guard, set()).update(rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self._file_wide or rule in self._file_wide:
+            return True
+        active = self._by_line.get(line)
+        return active is not None and ("all" in active or rule in active)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to check one file."""
+
+    path: str  # repo-relative, forward slashes
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: Suppressions | None = None
+
+    def in_dir(self, *prefixes: str) -> bool:
+        return any(self.path.startswith(p) for p in prefixes)
+
+
+class Rule:
+    """Base class: one machine-checked project contract."""
+
+    #: Report / suppression id, kebab-case.
+    name: str = ""
+    #: One-line statement of the contract the rule encodes.
+    contract: str = ""
+    #: Path prefixes the rule applies to; empty tuple = every file.
+    scope: tuple[str, ...] = ()
+    #: Path prefixes exempted even when inside ``scope``.
+    exclude: tuple[str, ...] = ()
+
+    def applies(self, ctx: LintContext) -> bool:
+        if self.exclude and ctx.in_dir(*self.exclude):
+            return False
+        return not self.scope or ctx.in_dir(*self.scope)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: LintContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def _abs(path: str, root: str) -> str:
+    """Resolve ``path`` against ``root`` (not the process CWD)."""
+    if os.path.isabs(path):
+        return path
+    return os.path.abspath(os.path.join(root, path))
+
+
+def _norm_rel(path: str, root: str) -> str:
+    rel = os.path.relpath(_abs(path, root), root)
+    return rel.replace(os.sep, "/")
+
+
+def collect_files(paths: Sequence[str], root: str | None = None) -> list[str]:
+    """Expand files/directories into a sorted, de-duplicated list of
+    repo-relative ``.py`` paths (hidden dirs and ``__pycache__``
+    skipped)."""
+    root = os.path.abspath(root or os.getcwd())
+    out: set[str] = set()
+    for p in paths:
+        ap = _abs(p, root)
+        if os.path.isfile(ap):
+            if ap.endswith(".py"):
+                out.add(_norm_rel(ap, root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(ap):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for fn in sorted(filenames):
+                if fn.endswith(".py"):
+                    out.add(_norm_rel(os.path.join(dirpath, fn), root))
+    return sorted(out)
+
+
+def lint_file(
+    path: str, rules: Iterable[Rule], root: str | None = None
+) -> list[Finding]:
+    """Run every applicable rule over one file; suppressions applied."""
+    root = os.path.abspath(root or os.getcwd())
+    rel = _norm_rel(path, root)
+    with open(os.path.join(root, rel), encoding="utf-8") as fh:
+        source = fh.read()
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="parse-error",
+                path=rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(
+        path=rel, tree=tree, lines=lines, suppressions=Suppressions(lines)
+    )
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for f in rule.check(ctx):
+            assert ctx.suppressions is not None
+            if not ctx.suppressions.is_suppressed(f.rule, f.line):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Iterable[Rule] | None = None,
+    root: str | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` with ``rules`` (default:
+    the full registry).  Returns findings sorted by location."""
+    if rules is None:
+        from tools.reprolint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    rules = list(rules)
+    out: list[Finding] = []
+    for rel in collect_files(paths, root):
+        out.extend(lint_file(rel, rules, root))
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return out

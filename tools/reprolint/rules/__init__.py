@@ -1,0 +1,57 @@
+"""Rule registry: one instance of every project-contract rule.
+
+Rule families:
+
+- :mod:`tools.reprolint.rules.determinism` — the paper's correctness
+  claim is bit-identical coloring per seed for any worker count; these
+  rules make the known nondeterminism sources unwritable.
+- :mod:`tools.reprolint.rules.layering` — package boundaries (engine
+  registry access, process/socket primitives, private cross-package
+  imports).
+- :mod:`tools.reprolint.rules.lifecycle` — executor ownership and
+  bounded blocking calls.
+- :mod:`tools.reprolint.rules.resources` — shared-memory and device
+  scratch allocations stay scoped.
+- :mod:`tools.reprolint.rules.output` — worker/library stdout stays
+  machine-parseable.
+"""
+
+from tools.reprolint.core import Rule
+from tools.reprolint.rules.determinism import (
+    LegacyNumpyRandomRule,
+    NoRandomModuleRule,
+    NoWallClockRule,
+    SetIterationRule,
+)
+from tools.reprolint.rules.layering import (
+    EngineRegistryRule,
+    PrivateImportRule,
+    SocketScopeRule,
+)
+from tools.reprolint.rules.lifecycle import (
+    BoundedBlockingRule,
+    ExecutorOwnershipRule,
+)
+from tools.reprolint.rules.output import NoBarePrintRule
+from tools.reprolint.rules.resources import (
+    ScratchContextRule,
+    ShmRegionScopeRule,
+)
+
+#: Every shipped rule, in catalog order.
+ALL_RULES: tuple[Rule, ...] = (
+    ExecutorOwnershipRule(),
+    BoundedBlockingRule(),
+    NoRandomModuleRule(),
+    LegacyNumpyRandomRule(),
+    NoWallClockRule(),
+    SetIterationRule(),
+    EngineRegistryRule(),
+    SocketScopeRule(),
+    PrivateImportRule(),
+    ShmRegionScopeRule(),
+    ScratchContextRule(),
+    NoBarePrintRule(),
+)
+
+__all__ = ["ALL_RULES"] + [type(r).__name__ for r in ALL_RULES]

@@ -1,0 +1,224 @@
+"""Determinism rules.
+
+The library's headline correctness property is that every backend —
+serial, pool, cluster, any worker count, resumed from a checkpoint —
+produces the bit-identical coloring per seed.  That only holds because
+every random draw flows through an explicit
+:class:`numpy.random.Generator` (``repro.util.rng.as_generator``) and
+no ordering is ever derived from an unordered container or the wall
+clock.  These rules make the known nondeterminism sources unwritable.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.core import Finding, LintContext, Rule
+
+#: Directories whose code runs inside worker task functions or feeds
+#: orderings into the deterministic pipeline.
+_PIPELINE_DIRS = (
+    "src/repro/coloring/",
+    "src/repro/parallel/",
+    "src/repro/device/",
+    "src/repro/core/",
+    "src/repro/distributed/",
+)
+
+
+class NoRandomModuleRule(Rule):
+    """Forbid the stdlib ``random`` module anywhere in the library."""
+
+    name = "no-random-module"
+    contract = (
+        "all randomness flows through numpy Generators normalized by "
+        "repro.util.rng.as_generator; the stdlib random module has "
+        "process-global state that breaks per-seed bit-identity"
+    )
+    scope = ("src/repro/",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "stdlib 'random' is banned: take a seed "
+                            "argument and use repro.util.rng.as_generator",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "stdlib 'random' is banned: take a seed "
+                        "argument and use repro.util.rng.as_generator",
+                    )
+
+
+class LegacyNumpyRandomRule(Rule):
+    """Forbid legacy ``np.random.*`` calls (global-state RandomState)."""
+
+    name = "legacy-np-random"
+    contract = (
+        "seeds are normalized once by repro.util.rng.as_generator; "
+        "legacy np.random.<fn>() calls use hidden global state and "
+        "np.random.default_rng() scattered at call sites fragments the "
+        "seeding discipline"
+    )
+    scope = ("src/repro/",)
+    exclude = ("src/repro/util/rng.py",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # np.random.<fn>(...) — Attribute(Attribute(Name np|numpy,
+            # 'random'), fn).  Annotations like np.random.Generator are
+            # not Call nodes and pass.
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in ("np", "numpy")
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.random.{func.attr}() is banned outside "
+                    "repro.util.rng: normalize seeds with as_generator "
+                    "and draw from the Generator",
+                )
+
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module is not None
+                and node.module.startswith("numpy.random")
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "import from numpy.random is banned outside "
+                    "repro.util.rng: use as_generator",
+                )
+
+
+class NoWallClockRule(Rule):
+    """Forbid wall-clock reads that could influence results."""
+
+    name = "no-wallclock"
+    contract = (
+        "results never depend on the wall clock: time.time()/"
+        "datetime.now() are banned in the library (time.perf_counter() "
+        "is fine for elapsed_s metrics — it never feeds an ordering)"
+    )
+    scope = ("src/repro/",)
+
+    _BANNED_TIME = ("time", "time_ns")
+    _BANNED_DATETIME = ("now", "utcnow", "today")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id == "time"
+                and func.attr in self._BANNED_TIME
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"time.{func.attr}() is wall-clock: use "
+                    "time.perf_counter() for durations; never let time "
+                    "influence results",
+                )
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in ("datetime", "date")
+                and func.attr in self._BANNED_DATETIME
+            ) or (
+                isinstance(base, ast.Attribute)
+                and base.attr in ("datetime", "date")
+                and func.attr in self._BANNED_DATETIME
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func.attr}() reads the wall clock: results and "
+                    "filenames derived from it are not reproducible",
+                )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """A bare unordered set: literal, comprehension, or set()/frozenset()
+    call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class SetIterationRule(Rule):
+    """Forbid iterating a bare ``set`` where order can leak into results."""
+
+    name = "set-iteration"
+    contract = (
+        "orderings fed to the coloring pipeline are never derived by "
+        "iterating an unordered set; wrap in sorted(...) to make the "
+        "order explicit"
+    )
+    scope = _PIPELINE_DIRS
+
+    #: Order-erasing / order-preserving wrappers.  ``sorted`` restores
+    #: a canonical order; the others materialize the arbitrary one.
+    _ORDER_SENSITIVE_WRAPPERS = ("list", "tuple", "enumerate")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._ORDER_SENSITIVE_WRAPPERS
+                and node.args
+                and _is_set_expr(node.args[0])
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.func.id}() over a bare set materializes an "
+                    "unordered iteration: use sorted(...) to pin the "
+                    "order",
+                )
+                continue
+            for it in iters:
+                if _is_set_expr(it):
+                    yield self.finding(
+                        ctx,
+                        it,
+                        "iterating a bare set: the order is "
+                        "unspecified and can leak into the coloring; "
+                        "use sorted(...)",
+                    )

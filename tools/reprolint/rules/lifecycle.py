@@ -1,0 +1,199 @@
+"""Lifecycle rules: executor ownership and bounded blocking.
+
+Two hardening campaigns live here.  PR 2 established the ownership
+contract — whoever materializes an executor from a spec owns it and
+must close it, or worker processes outlive the build.  PR 3/5 made
+every blocking call bounded — ``multiprocessing`` never re-issues a
+task lost to a killed worker, so one unbounded ``.get()``/``.recv()``/
+``.join()``/``.wait()`` turns a dead worker into a hung dispatcher.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.core import Finding, LintContext, Rule
+
+#: Factories whose result the caller owns and must close.
+_EXECUTOR_FACTORIES = frozenset({"make_executor", "supervised_executor"})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _iter_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function scopes."""
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            stack.append(child)
+
+
+def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module scope plus every function scope."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, _SCOPE_NODES):
+            yield node
+
+
+def _closed_names(scope: ast.AST) -> set[str]:
+    """Names ``x`` with an ``x.close()`` inside any ``finally`` block
+    of ``scope``."""
+    out: set[str] = set()
+    for node in _iter_scope(scope):
+        if not isinstance(node, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "close"
+                    and isinstance(sub.func.value, ast.Name)
+                ):
+                    out.add(sub.func.value.id)
+    return out
+
+
+def _with_names_and_calls(
+    scope: ast.AST,
+) -> tuple[set[str], set[ast.Call]]:
+    """Names used as ``with x`` context managers, and factory Call
+    nodes that are themselves a ``with`` context expression."""
+    names: set[str] = set()
+    calls: set[ast.Call] = set()
+    for node in _iter_scope(scope):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Name):
+                names.add(expr.id)
+            elif isinstance(expr, ast.Call):
+                calls.add(expr)
+    return names, calls
+
+
+def _returned(scope: ast.AST) -> tuple[set[str], set[ast.Call]]:
+    """Names and Call nodes returned (ownership transferred to caller)."""
+    names: set[str] = set()
+    calls: set[ast.Call] = set()
+    for node in _iter_scope(scope):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if isinstance(node.value, ast.Name):
+                names.add(node.value.id)
+            elif isinstance(node.value, ast.Call):
+                calls.add(node.value)
+        elif isinstance(scope, ast.Lambda) and node is scope.body:
+            if isinstance(node, ast.Call):
+                calls.add(node)
+    return names, calls
+
+
+class ExecutorOwnershipRule(Rule):
+    """Spec-created executors are closed by their creator."""
+
+    name = "executor-ownership"
+    contract = (
+        "every make_executor()/supervised_executor() result is owned: "
+        "wrap the call in owned_executor(...)/'with', close it in a "
+        "'finally', or return it to transfer ownership — a leaked "
+        "executor keeps live worker processes"
+    )
+    scope = ("src/repro/",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for scope in _scopes(ctx.tree):
+            closed = _closed_names(scope)
+            with_names, with_calls = _with_names_and_calls(scope)
+            ret_names, ret_calls = _returned(scope)
+            ok_names = closed | with_names | ret_names
+            ok_calls = with_calls | ret_calls
+
+            for node in _iter_scope(scope):
+                if not isinstance(node, ast.Assign):
+                    continue
+                call = node.value
+                if (
+                    isinstance(call, ast.Call)
+                    and _call_name(call) in _EXECUTOR_FACTORIES
+                ):
+                    targets = [
+                        t.id for t in node.targets if isinstance(t, ast.Name)
+                    ]
+                    if targets and all(t in ok_names for t in targets):
+                        ok_calls.add(call)
+                    elif not targets:
+                        # Assigned to an attribute/subscript: lifetime
+                        # crosses the function, which this rule cannot
+                        # prove safe.
+                        pass
+
+            for node in _iter_scope(scope):
+                if (
+                    isinstance(node, ast.Call)
+                    and _call_name(node) in _EXECUTOR_FACTORIES
+                    and node not in ok_calls
+                ):
+                    # Still fine when the immediate statement returns it
+                    # through a ternary etc.?  No: be strict, ask for
+                    # one of the three blessed shapes.
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{_call_name(node)}() result is never closed "
+                        "here: use owned_executor(...), close it in a "
+                        "'finally', or return it to transfer ownership",
+                    )
+
+
+class BoundedBlockingRule(Rule):
+    """Every potentially-blocking call passes a timeout."""
+
+    name = "bounded-blocking"
+    contract = (
+        "in repro.parallel and repro.distributed every .get()/.recv()/"
+        ".join()/.wait() passes a timeout: a worker killed mid-task "
+        "never reports, multiprocessing never re-issues the task, and "
+        "an unbounded wait hangs the whole build"
+    )
+    scope = ("src/repro/parallel/", "src/repro/distributed/")
+
+    _BLOCKING = frozenset({"get", "recv", "join", "wait"})
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in self._BLOCKING:
+                continue
+            # Any argument counts as the bound: these APIs take the
+            # timeout first (AsyncResult.get, Connection.recv via our
+            # transport, Process.join, Barrier.wait).  dict.get(key)
+            # and str.join(parts) carry arguments and pass untouched;
+            # the zero-argument form is exactly the unbounded wait.
+            if node.args or node.keywords:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f".{func.attr}() without a timeout can hang forever on "
+                "a killed worker: pass a bound (see "
+                "REPRO_RESULT_TIMEOUT_S / BROADCAST_TIMEOUT_S)",
+            )

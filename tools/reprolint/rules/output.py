@@ -1,0 +1,44 @@
+"""Output rule: library stdout stays machine-parseable.
+
+The CLI (``repro.cli``) owns stdout; workers and library modules that
+print there interleave with result streams (the distributed worker's
+stdout may be captured by a launcher).  Diagnostics go to stderr or
+``logging``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.core import Finding, LintContext, Rule
+
+
+class NoBarePrintRule(Rule):
+    """No ``print()`` to stdout outside the CLI entry point."""
+
+    name = "no-bare-print"
+    contract = (
+        "outside repro.cli, nothing prints to stdout: pass "
+        "file=sys.stderr or use logging so launcher-captured streams "
+        "stay machine-parseable"
+    )
+    scope = ("src/repro/",)
+    exclude = ("src/repro/cli.py",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Name) and node.func.id == "print"
+            ):
+                continue
+            if any(kw.arg == "file" for kw in node.keywords):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "bare print() writes to stdout: add file=sys.stderr or "
+                "use logging (stdout belongs to repro.cli)",
+            )
