@@ -53,8 +53,15 @@ round-parallelism); the delta is recorded, not hidden.
   the workers, per strip).  The unfused colorings join the
   bit-identity assertion: fusion is a pure dataflow change.
 
-Elapsed seconds land in ``BENCH_PR7.json`` at the repo root; the JSON
-files form the performance trajectory (``BENCH_PR1..6.json`` hold the
+- **kernel backend** (new) — when the numba runtime imports, a
+  ``tiled_numba`` row runs the same serial tiled iterate with the
+  compiled kernel backend (``PicassoParams(kernel_backend="numba")``)
+  and joins the bit-identity assertion; ``compiled_kernel_speedup`` is
+  the numpy/numba ratio of the conflict-build (sweep) phase.  Per-
+  kernel ns/word microbenchmarks live in ``bench_kernels.py``.
+
+Elapsed seconds land in ``BENCH_PR9.json`` at the repo root; the JSON
+files form the performance trajectory (``BENCH_PR1..8.json`` hold the
 earlier axes), so regressions are visible in review.
 
 The parallel rows record ``host_cpu_count``; on hosts with fewer cores
@@ -85,14 +92,15 @@ import numpy as np
 
 from repro.coloring.engine import available_engines
 from repro.core import Picasso, PicassoParams
+from repro.device.backends import available_backends
 from repro.pauli import random_pauli_set
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_PR7.json"
+OUT_PATH = REPO_ROOT / "BENCH_PR9.json"
 #: --quick writes here instead — an ignored directory, so a CI smoke
 #: run can never land an artifact in the tree or clobber the committed
 #: full-size trajectory file.
-QUICK_OUT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_PR7.quick.json"
+QUICK_OUT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_PR9.quick.json"
 
 #: (name, n strings, n qubits) — the last row is the acceptance
 #: headline: 10k strings over 50 qubits.
@@ -193,6 +201,9 @@ def main(argv=None) -> int:
 
     cpu_count = os.cpu_count() or 1
     cases = QUICK_CASES if args.quick else CASES
+    # PR 9 axis: the compiled kernel backend, present only where its
+    # runtime imports (the CI numba leg; a plain host records "numpy").
+    kernel_backend = "numba" if "numba" in available_backends() else "numpy"
     report = {
         "benchmark": (
             "fused worker-swept iterate vs the classic dispatcher-swept "
@@ -202,6 +213,7 @@ def main(argv=None) -> int:
         ),
         "n_workers": args.workers,
         "color_engine": args.color_engine,
+        "kernel_backend": kernel_backend,
         "host_cpu_count": cpu_count,
         "cases": [],
     }
@@ -234,12 +246,12 @@ def main(argv=None) -> int:
     # does — finish, assert-divergence return, or raise — the cluster
     # is torn down here, not at each exit site.
     try:
-        return _run_cases(args, report, hosts, cases)
+        return _run_cases(args, report, hosts, cases, kernel_backend)
     finally:
         stack.close()
 
 
-def _run_cases(args, report, hosts, cases) -> int:
+def _run_cases(args, report, hosts, cases, kernel_backend) -> int:
     """The per-case measurement loop (cluster lifetime owned by main)."""
     for name, n, nq in cases:
         pauli_set = random_pauli_set(n, nq, seed=0)
@@ -263,6 +275,16 @@ def _run_cases(args, report, hosts, cases) -> int:
             args.seed,
         )
         gather = run_config(pauli_set, PicassoParams(engine="pairs"), args.seed)
+        # PR 9 axis: the serial tiled iterate on the compiled kernel
+        # backend.  On hosts without numba this row is skipped (not run
+        # on the silent numpy fallback, which would report a fake 1.0x).
+        tiled_compiled = None
+        if kernel_backend != "numpy":
+            tiled_compiled = run_config(
+                pauli_set,
+                PicassoParams(engine="tiled", kernel_backend=kernel_backend),
+                args.seed,
+            )
         # PR 4 axis: the selected coloring engine, rounds in-process vs
         # dispatched over the shared persistent pool (with shm gather —
         # the full parallel iterate: sweep and color on one pool).
@@ -310,6 +332,10 @@ def _run_cases(args, report, hosts, cases) -> int:
             and np.array_equal(tiled["colors"], tiled_shm["colors"])
             and np.array_equal(tiled["colors"], cluster_row["colors"])
             and np.array_equal(tiled["colors"], checkpointed["colors"])
+            and (
+                tiled_compiled is None
+                or np.array_equal(tiled["colors"], tiled_compiled["colors"])
+            )
         )
         # Within the coloring engine, serial and pooled rounds must be
         # bit-identical (round-synchronous rounds are partition-
@@ -324,6 +350,7 @@ def _run_cases(args, report, hosts, cases) -> int:
         for row in (
             tiled, tiled_unfused, tiled_par, tiled_shm, gather,
             color_serial, color_pool, cluster_row, checkpointed,
+            *([tiled_compiled] if tiled_compiled else []),
         ):
             row.pop("colors")
         checkpoint_overhead_pct = round(
@@ -358,6 +385,17 @@ def _run_cases(args, report, hosts, cases) -> int:
         # The PR 7 headlines: classic/fused wall-time ratio, and the
         # dispatcher-side O(|Ec|) edge sweep as a fraction of the run —
         # measurable in the classic iterate, identically zero fused.
+        # The PR 9 headline: numpy/compiled ratio of the conflict-build
+        # (sweep) phase — None where no compiled runtime imports.
+        compiled_kernel_speedup = (
+            round(
+                tiled["conflict_build_s"]
+                / max(tiled_compiled["conflict_build_s"], 1e-9),
+                2,
+            )
+            if tiled_compiled is not None
+            else None
+        )
         fused_speedup = tiled_unfused["total_s"] / max(tiled["total_s"], 1e-9)
         unfused_phases = phase_breakdown(tiled_unfused)
         dispatcher_serial_fraction = {
@@ -377,6 +415,11 @@ def _run_cases(args, report, hosts, cases) -> int:
             "color_pool": color_pool,
             "cluster": cluster_row,
             "checkpointed": checkpointed,
+            **(
+                {f"tiled_{kernel_backend}": tiled_compiled}
+                if tiled_compiled is not None
+                else {}
+            ),
             # Distinct keys: --color-engine greedy-dynamic is a valid
             # choice and must not collapse the dict onto the baseline.
             "phase_breakdown": {
@@ -385,6 +428,7 @@ def _run_cases(args, report, hosts, cases) -> int:
                 f"color_{args.color_engine}": parallel_phases,
             },
             "fused_speedup": round(fused_speedup, 2),
+            "compiled_kernel_speedup": compiled_kernel_speedup,
             "dispatcher_serial_fraction": dispatcher_serial_fraction,
             "engine_speedup": round(engine_speedup, 2),
             "workers_build_speedup": round(workers_build_speedup, 2),
@@ -422,7 +466,12 @@ def _run_cases(args, report, hosts, cases) -> int:
             f"fused {fused_speedup:.2f}x (edge-sweep fraction "
             f"{dispatcher_serial_fraction['classic']:.3f}->"
             f"{dispatcher_serial_fraction['fused']:.3f}) "
-            f"identical={identical}/{identical_color}"
+            + (
+                f"compiled({kernel_backend}) {compiled_kernel_speedup:.2f}x "
+                if compiled_kernel_speedup is not None
+                else ""
+            )
+            + f"identical={identical}/{identical_color}"
         )
         if not identical or not identical_color or not same_n_groups:
             print("ERROR: backends diverged", file=sys.stderr)

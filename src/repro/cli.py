@@ -82,6 +82,8 @@ def _make_params(args: argparse.Namespace):
         overrides["max_retries"] = args.max_retries
     if getattr(args, "fused", None) is not None:
         overrides["fused"] = args.fused
+    if getattr(args, "kernel_backend", None) is not None:
+        overrides["kernel_backend"] = args.kernel_backend
     return base.with_(**overrides)
 
 
@@ -329,6 +331,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded-failure retries per backend per sweep before "
         "failing over (default REPRO_MAX_RETRIES=2; setting this "
         "enables supervision even without --failover)",
+    )
+    from repro.device.backends import registered_backends
+
+    p.add_argument(
+        "--kernel-backend", default=None, dest="kernel_backend",
+        choices=["auto", *registered_backends()],
+        help="compute-kernel backend for the hot sweep/coloring kernels "
+        "(registry name; default auto reads REPRO_KERNEL_BACKEND, else "
+        "numpy); numba is a compiled CPU path, cupy a GPU path — both "
+        "bit-identical to numpy, with a stderr note and numpy fallback "
+        "when the requested runtime is not importable",
     )
     p.add_argument(
         "--fused", action=argparse.BooleanOptionalAction, default=None,

@@ -253,8 +253,13 @@ class ParallelListEngine(ListColoringEngine):
     name = "parallel-list"
     parallel = True
 
-    def __init__(self, max_rounds: int | None = None) -> None:
+    def __init__(
+        self,
+        max_rounds: int | None = None,
+        kernel_backend: str | None = None,
+    ) -> None:
         self.max_rounds = max_rounds
+        self.kernel_backend = kernel_backend
 
     def color(
         self,
@@ -270,6 +275,7 @@ class ParallelListEngine(ListColoringEngine):
             colors, vu, info = parallel_list_color(
                 gc, col_lists, rng,
                 executor=executor, max_rounds=self.max_rounds,
+                kernel_backend=self.kernel_backend,
             )
         return ListColoringOutcome(
             colors=colors, uncolored=vu, engine=self.name,

@@ -80,6 +80,7 @@ def _init_palette_worker(payload: dict) -> None:
         state = {
             "masks": static["masks"],
             "forbidden": np.zeros_like(static["masks"]),
+            "kernel_backend": static.get("kernel_backend"),
         }
         if token is not None:
             _PALETTE_CACHE[token] = state
@@ -97,6 +98,19 @@ def _init_palette_worker(payload: dict) -> None:
     _CWORKER["masks"] = state["masks"]
     _CWORKER["forbidden"] = state["forbidden"]
     _CWORKER["active"] = payload["active"]
+    # Worker-side backend resolution, as for the conflict sweep: the
+    # payload ships the name, the worker resolves it locally.
+    _CWORKER["backend"] = _resolve_backend(state.get("kernel_backend"))
+
+
+def _resolve_backend(kernel_backend: str | None):
+    """Kernel-backend instance for the pick scan (``None`` = direct
+    numpy path; import deferred to keep layering lazy)."""
+    if kernel_backend is None:
+        return None
+    from repro.device.backends import resolve_backend
+
+    return resolve_backend(kernel_backend)
 
 
 def _pick_strip(task: tuple[int, int]) -> np.ndarray:
@@ -104,6 +118,9 @@ def _pick_strip(task: tuple[int, int]) -> np.ndarray:
     start, stop = task
     rows = _CWORKER["active"][start:stop]
     avail = _CWORKER["masks"][rows] & ~_CWORKER["forbidden"][rows]
+    backend = _CWORKER.get("backend")
+    if backend is not None:
+        return backend.lowest_set_bit_rows(avail)
     return lowest_set_bit_rows(avail)
 
 
@@ -150,6 +167,7 @@ def parallel_list_color(
     rng: np.random.Generator | int | None = None,
     executor: Executor | None = None,
     max_rounds: int | None = None,
+    kernel_backend: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray, dict]:
     """Round-synchronous speculative list coloring.
 
@@ -171,6 +189,12 @@ def parallel_list_color(
         Safety valve; every round commits at least one vertex (the
         globally highest-priority tentative never loses), so ``n + 1``
         is a true upper bound.
+    kernel_backend:
+        Optional kernel-backend *name* for the lowest-set-bit pick scan
+        (see :mod:`repro.device.backends`).  ``None`` runs the direct
+        numpy kernel; a name is resolved in-process for serial rounds
+        and worker-side for pool rounds.  Backends are bit-identical,
+        so this never changes the coloring.
 
     Returns
     -------
@@ -230,9 +254,13 @@ def parallel_list_color(
             rows = words = np.empty(0, dtype=np.int64)
         return rows, words, forbidden[rows, words]
 
+    local_backend = _resolve_backend(kernel_backend) if not use_pool else None
+
     def _round_picks(active: np.ndarray) -> np.ndarray:
         if not use_pool:
             avail = masks[active] & ~forbidden[active]
+            if local_backend is not None:
+                return local_backend.lowest_set_bit_rows(avail)
             return lowest_set_bit_rows(avail)
         from repro.parallel.pool import imap_delta_install
 
@@ -240,9 +268,13 @@ def parallel_list_color(
 
         def make_payload(force_full: bool):
             full = force_full or not executor.holds_token(token)
+            static = (
+                {"masks": masks, "kernel_backend": kernel_backend}
+                if full else None
+            )
             payload = {
                 "token": token,
-                "static": {"masks": masks} if full else None,
+                "static": static,
                 "delta": _delta(full),
                 "active": active,
             }

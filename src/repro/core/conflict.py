@@ -57,6 +57,7 @@ def build_conflict_graph(
     hosts=None,
     transport: str = "socket",
     timings: dict | None = None,
+    kernel_backend: str | None = None,
 ) -> tuple[CSRGraph, int]:
     """Build the conflict graph over ``n`` active vertices on the host.
 
@@ -107,6 +108,10 @@ def build_conflict_graph(
     timings:
         Optional dict accumulating ``sweep_s`` / ``assemble_s`` phase
         buckets (see :func:`repro.parallel.pool.gathered_conflict_csr`).
+    kernel_backend:
+        Kernel-backend *name* (:mod:`repro.device.backends`) for the
+        sweep's hot kernels; ``None`` runs the direct numpy path.
+        Resolved worker-side, bit-identical across backends.
 
     Returns the CSR conflict graph and the conflict-edge count.
     """
@@ -118,6 +123,7 @@ def build_conflict_graph(
             tile_bytes=tile_bytes, executor=ex, shm=shm,
             est_conflict_edges=est_conflict_edges,
             source=source, active_idx=active_idx, timings=timings,
+            kernel_backend=kernel_backend,
         )
 
 
@@ -139,6 +145,7 @@ def build_fused_conflict_state(
     transport: str = "socket",
     region_pool=None,
     timings: dict | None = None,
+    kernel_backend: str | None = None,
 ) -> tuple[CSRGraph, np.ndarray, int]:
     """Fused variant of :func:`build_conflict_graph`: returns the
     conflicted-subgraph CSR, the conflict vertex ids and the edge count
@@ -156,6 +163,7 @@ def build_fused_conflict_state(
             est_conflict_edges=est_conflict_edges,
             source=source, active_idx=active_idx,
             region_pool=region_pool, timings=timings,
+            kernel_backend=kernel_backend,
         )
 
 
@@ -171,6 +179,7 @@ def count_conflict_edges(
     executor: str | Executor = "auto",
     hosts=None,
     transport: str = "socket",
+    kernel_backend: str | None = None,
 ) -> int:
     """Conflict-edge count without materializing the graph (parameter
     sweeps, Fig. 5's ``max |Ec|`` heatmap)."""
@@ -181,6 +190,7 @@ def count_conflict_edges(
         for i, _ in conflict_sweep_chunks(
             n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
             tile_bytes=tile_bytes, executor=ex,
+            kernel_backend=kernel_backend,
         ):
             total += len(i)
         return total

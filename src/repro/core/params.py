@@ -149,6 +149,18 @@ class PicassoParams:
         variable (unset/``1`` = fused; ``0``/``false`` = classic); an
         explicit bool always wins.  The device build keeps its own
         path and ignores this knob.
+    kernel_backend:
+        Compute-kernel backend for the hot word kernels
+        (:mod:`repro.device.backends` registry): ``"numpy"`` (the
+        vectorized default), ``"numba"`` (compiled CPU loops) or
+        ``"cupy"`` (device arrays).  ``"auto"`` (default) defers to the
+        ``REPRO_KERNEL_BACKEND`` environment variable, then numpy.
+        Backends are **bit-identical per seed** — CSR structures and
+        colorings never change with this knob, only throughput.  The
+        name ships to pool and cluster workers, each of which resolves
+        it against its own environment (missing runtimes degrade to
+        numpy with a stderr note).  An execution knob, so it is
+        excluded from checkpoint fingerprints like ``n_workers``.
     """
 
     palette_fraction: float = 0.125
@@ -174,6 +186,7 @@ class PicassoParams:
     failover: str | tuple | None = None
     max_retries: int | None = None
     fused: bool | None = None
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.palette_fraction <= 1.0:
@@ -226,6 +239,17 @@ class PicassoParams:
             _parse_chain(self.failover)
         if self.max_retries is not None and self.max_retries < 0:
             raise ValueError("max_retries must be >= 0 or None")
+        if self.kernel_backend != "auto":
+            # Registered, not available: naming "cupy" on a GPU-less
+            # dispatch host is legitimate when the workers have one
+            # (and degrades to numpy bit-identically when they don't).
+            from repro.device.backends import registered_backends
+
+            if self.kernel_backend not in registered_backends():
+                raise ValueError(
+                    f"unknown kernel_backend {self.kernel_backend!r}; "
+                    f"available: {('auto',) + registered_backends()}"
+                )
 
     @property
     def supervised(self) -> bool:
@@ -264,7 +288,10 @@ class PicassoParams:
             order = self.conflict_order if self.conflict_order != "dynamic" else "natural"
             return {"order": order}
         if name == "parallel-list":
-            return {"max_rounds": self.color_max_rounds}
+            return {
+                "max_rounds": self.color_max_rounds,
+                "kernel_backend": self.resolved_kernel_backend(),
+            }
         return {}
 
     def resolved_fused(self) -> bool:
@@ -282,6 +309,24 @@ class PicassoParams:
         return os.environ.get("REPRO_FUSED", "1").strip().lower() not in (
             "0", "false", "no", "off",
         )
+
+    def resolved_kernel_backend(self) -> str:
+        """The backend name ``kernel_backend="auto"`` resolves to.
+
+        An explicit name wins; ``"auto"`` consults
+        ``REPRO_KERNEL_BACKEND`` (read per call, like
+        :meth:`resolved_fused`), landing on ``"numpy"`` when that is
+        unset, empty or itself ``"auto"``.  The result is always a
+        concrete name: it ships in worker payloads, so the dispatcher
+        and every worker agree on what was requested even when a
+        worker's missing runtime makes it degrade to numpy locally.
+        """
+        if self.kernel_backend != "auto":
+            return self.kernel_backend
+        import os
+
+        name = os.environ.get("REPRO_KERNEL_BACKEND", "").strip().lower()
+        return name if name and name != "auto" else "numpy"
 
     def with_(self, **kwargs) -> "PicassoParams":
         """Functional update."""

@@ -204,6 +204,9 @@ class Picasso:
         color_engine = get_engine(
             params.resolved_color_engine(), **params.color_engine_knobs()
         )
+        # One resolved kernel-backend name for the run; workers resolve
+        # it against their own runtime (bit-identical by contract).
+        kb = params.resolved_kernel_backend()
         n_total = source.n
         colors = np.full(n_total, -1, dtype=np.int64)
         active = np.arange(n_total, dtype=np.int64)
@@ -295,6 +298,7 @@ class Picasso:
                     est_conflict_edges=est_edges,
                     source=source,
                     active_idx=active_idx,
+                    kernel_backend=kb,
                 )
                 n_conf_edges = build_stats.n_conflict_edges
                 built_on_device = build_stats.built_on_device
@@ -318,6 +322,7 @@ class Picasso:
                     active_idx=active_idx,
                     region_pool=region_pool,
                     timings=timings,
+                    kernel_backend=kb,
                 )
             else:
                 gc, n_conf_edges = build_conflict_graph(
@@ -334,6 +339,7 @@ class Picasso:
                     source=source,
                     active_idx=active_idx,
                     timings=timings,
+                    kernel_backend=kb,
                 )
             t_build = time.perf_counter() - t0
 

@@ -65,6 +65,7 @@ def build_conflict_csr(
     est_conflict_edges: float | None = None,
     source=None,
     active_idx=None,
+    kernel_backend: str | None = None,
 ) -> tuple[CSRGraph, BuildStats]:
     """Run Algorithm 3 on a simulated device.
 
@@ -115,6 +116,9 @@ def build_conflict_csr(
     source, active_idx:
         Root edge source + active indices for the persistent-pool
         delta payload (:mod:`repro.parallel.pool`).
+    kernel_backend:
+        Kernel-backend *name* (:mod:`repro.device.backends`) for the
+        sweep's hot kernels; ``None`` keeps the direct numpy path.
 
     Returns
     -------
@@ -125,13 +129,14 @@ def build_conflict_csr(
         return _algorithm3(
             n, edge_mask_fn, colmasks, device, chunk_size, engine,
             edge_block_fn, tile_bytes, ex, shm, est_conflict_edges,
-            source, active_idx,
+            source, active_idx, kernel_backend,
         )
 
 
 def _algorithm3(
     n, edge_mask_fn, colmasks, device, chunk_size, engine, edge_block_fn,
     tile_bytes, ex, shm, est_conflict_edges, source, active_idx,
+    kernel_backend=None,
 ) -> tuple[CSRGraph, BuildStats]:
     """Algorithm 3 proper, against an already-resolved executor."""
     workers = max(1, ex.n_workers)
@@ -233,6 +238,7 @@ def _algorithm3(
             est_conflict_edges=est_conflict_edges,
             source=source, active_idx=active_idx,
             region_cb=_charge_shm_region,
+            kernel_backend=kernel_backend,
         ) as hit_stream:
             try:
                 for ei, ej in hit_stream:

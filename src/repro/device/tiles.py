@@ -50,10 +50,15 @@ from __future__ import annotations
 
 import math
 from collections.abc import Callable, Iterator
+from functools import lru_cache
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.util.bits import anybit_block, parity_block
+
+if TYPE_CHECKING:
+    from repro.device.backends.base import KernelBackend
 
 __all__ = [
     "DEFAULT_TILE_BYTES",
@@ -70,6 +75,7 @@ __all__ = [
     "lists_intersect_block",
     "conflict_hits_block",
     "conflict_hits_strip",
+    "block_hits",
     "block_hits_strip",
     "sweep_conflict_hits",
     "sweep_conflict_chunks",
@@ -129,12 +135,22 @@ def tile_edge(
     honored — the budget is a sizing hint, not a hard cap.  The device
     path enforces its real cap separately by checking the resulting
     scratch against ``device.available`` before allocating.
+
+    The budget solve is memoized per ``tile_bytes`` (the device build
+    probes it repeatedly while fitting the tile scratch next to the COO
+    buffer); the ``n`` cap is applied outside the cache.
     """
-    t = int(math.isqrt(max(int(tile_bytes), 1) // SCRATCH_BYTES_PER_PAIR))
-    t = max(MIN_TILE, min(t - t % MIN_TILE, MAX_TILE))
+    t = _tile_edge_base(int(tile_bytes))
     if n is not None:
         t = min(t, max(int(n), 1))
     return t
+
+
+@lru_cache(maxsize=64)
+def _tile_edge_base(tile_bytes: int) -> int:
+    """The budget solve of :func:`tile_edge`, before the ``n`` cap."""
+    t = int(math.isqrt(max(tile_bytes, 1) // SCRATCH_BYTES_PER_PAIR))
+    return max(MIN_TILE, min(t - t % MIN_TILE, MAX_TILE))
 
 
 def tile_scratch_bytes(tile: int) -> int:
@@ -159,11 +175,26 @@ def iter_tiles(n: int, tile: int) -> Iterator[tuple[int, int, int, int]]:
 
 
 def upper_triangle_mask(r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
-    """Boolean block mask: True where the global pair has ``i < j``."""
-    return (
-        np.arange(r0, r1, dtype=np.int64)[:, None]
-        < np.arange(c0, c1, dtype=np.int64)[None, :]
+    """Boolean block mask: True where the global pair has ``i < j``.
+
+    Global ``r0 + li < c0 + lj`` depends only on the block shape and
+    the diagonal offset ``c0 - r0``, so every diagonal tile of every
+    sweep shares one cached (read-only) mask instead of recomputing the
+    broadcast compare per tile.
+    """
+    return _triangle_mask(r1 - r0, c1 - c0, c0 - r0)
+
+
+@lru_cache(maxsize=64)
+def _triangle_mask(rows: int, cols: int, shift: int) -> np.ndarray:
+    mask = (
+        np.arange(rows, dtype=np.int64)[:, None]
+        < np.arange(cols, dtype=np.int64)[None, :] + shift
     )
+    # Callers only read it (the kernels use it as the RHS of ``&=``);
+    # freezing the buffer keeps the cache sharable.
+    mask.setflags(write=False)
+    return mask
 
 
 class TileScratch:
@@ -222,6 +253,7 @@ def conflict_hits_block(
     edge_block_fn: EdgeBlockFn | None = None,
     dense_edge_fraction: float = DENSE_EDGE_FRACTION,
     scratch: TileScratch | None = None,
+    backend: KernelBackend | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The fused §V conflict kernel for one tile, emitting ``(i, j)``.
 
@@ -234,13 +266,22 @@ def conflict_hits_block(
     of the tile survived (the broadcast reads each operand row once,
     beating the gather as density grows).
 
+    ``backend`` (a :class:`~repro.device.backends.KernelBackend`)
+    supplies the palette-intersection kernel when given; ``None`` runs
+    the numpy kernel directly — the exact legacy path, no dispatch.
+    The survivor bookkeeping, diagonal masking and oracle policy stay
+    here either way, so every backend shares one driver.
+
     Hits are returned as global index arrays in row-major tile order
     (``i`` ascending, ``j`` ascending within a row) — the order the
     two-pass CSR fill relies on.
     """
     if edge_mask_fn is None and edge_block_fn is None:
         raise ValueError("need edge_mask_fn or edge_block_fn")
-    hit = lists_intersect_block(colmasks, r0, r1, c0, c1, scratch)
+    if backend is None:
+        hit = lists_intersect_block(colmasks, r0, r1, c0, c1, scratch)
+    else:
+        hit = backend.lists_intersect_block(colmasks, r0, r1, c0, c1, scratch)
     if r0 == c0:
         hit &= upper_triangle_mask(r0, r1, c0, c1)
     li, lj = np.nonzero(hit)
@@ -266,6 +307,7 @@ def conflict_hits_strip(
     edge_block_fn: EdgeBlockFn | None = None,
     dense_edge_fraction: float = DENSE_EDGE_FRACTION,
     scratch: TileScratch | None = None,
+    backend: KernelBackend | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Run the fused conflict kernel over a strip of tiles.
 
@@ -274,12 +316,17 @@ def conflict_hits_strip(
     so a partitioned sweep that gathers strip results in strip order
     reproduces the serial sweep's global hit stream exactly.  This is
     the unit of work an execution backend ships to a worker process —
-    one task, one ``(i, j)`` result pair.
+    one task, one ``(i, j)`` result pair.  ``backend`` dispatches the
+    per-tile kernel (``None`` = the direct numpy path).
     """
     us: list[np.ndarray] = []
     vs: list[np.ndarray] = []
+    block_op = (
+        backend.conflict_hits_block if backend is not None
+        else conflict_hits_block
+    )
     for r0, r1, c0, c1 in tiles:
-        i, j = conflict_hits_block(
+        i, j = block_op(
             colmasks, r0, r1, c0, c1, edge_mask_fn, edge_block_fn,
             dense_edge_fraction=dense_edge_fraction, scratch=scratch,
         )
@@ -291,17 +338,19 @@ def conflict_hits_strip(
     return np.concatenate(us), np.concatenate(vs)
 
 
-def _block_hits(
+def block_hits(
     block_fn: EdgeBlockFn, r0: int, r1: int, c0: int, c1: int
 ) -> tuple[np.ndarray, np.ndarray]:
     """Upper-triangle hits of ``block_fn`` on one tile, as global
     ``(i, j)`` index arrays — the shared per-tile body of
     :func:`sweep_block_hits` and :func:`block_hits_strip` (one place to
     keep the diagonal masking, so serial and parallel explicit-builder
-    sweeps cannot diverge)."""
+    sweeps cannot diverge).  This is the inner block op a
+    :class:`~repro.device.backends.KernelBackend` may override to fuse
+    the predicate and the masking on-device."""
     blk = np.asarray(block_fn(r0, r1, c0, c1)).astype(bool, copy=False)
     if r0 == c0:
-        blk &= upper_triangle_mask(r0, r1, c0, c1)
+        blk = blk & upper_triangle_mask(r0, r1, c0, c1)
     li, lj = np.nonzero(blk)
     if len(li) == 0:
         return _EMPTY, _EMPTY
@@ -309,15 +358,19 @@ def _block_hits(
 
 
 def block_hits_strip(
-    block_fn: EdgeBlockFn, tiles
+    block_fn: EdgeBlockFn,
+    tiles,
+    backend: KernelBackend | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-worker task of the generic tiled pair sweep: concatenate the
     upper-triangle hits of ``block_fn`` over a strip of tiles (the
-    parallel unit behind :func:`sweep_block_hits`)."""
+    parallel unit behind :func:`sweep_block_hits`).  ``backend``
+    dispatches the inner block op (``None`` = :func:`block_hits`)."""
     us: list[np.ndarray] = []
     vs: list[np.ndarray] = []
+    block_op = backend.block_hits if backend is not None else block_hits
     for r0, r1, c0, c1 in tiles:
-        i, j = _block_hits(block_fn, r0, r1, c0, c1)
+        i, j = block_op(block_fn, r0, r1, c0, c1)
         if len(i):
             us.append(i)
             vs.append(j)
@@ -333,14 +386,19 @@ def sweep_conflict_hits(
     edge_block_fn: EdgeBlockFn | None = None,
     tile: int | None = None,
     tile_bytes: int = DEFAULT_TILE_BYTES,
+    backend: KernelBackend | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Run the fused conflict kernel over all upper-triangle tiles,
     yielding one ``(i, j)`` hit pair per tile (possibly empty)."""
     if tile is None:
         tile = tile_edge(colmasks.shape[1], tile_bytes, n=n)
     scratch = TileScratch(tile)
+    block_op = (
+        backend.conflict_hits_block if backend is not None
+        else conflict_hits_block
+    )
     for r0, r1, c0, c1 in iter_tiles(n, tile):
-        yield conflict_hits_block(
+        yield block_op(
             colmasks, r0, r1, c0, c1, edge_mask_fn, edge_block_fn,
             scratch=scratch,
         )
@@ -355,16 +413,19 @@ def sweep_conflict_chunks(
     edge_block_fn: EdgeBlockFn | None = None,
     tile_bytes: int = DEFAULT_TILE_BYTES,
     tile: int | None = None,
+    backend: KernelBackend | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Engine dispatch for the conflict sweep, shared by the host build
     (:mod:`repro.core.conflict`) and the device build
     (:mod:`repro.device.csr_build`): yield ``(i, j)`` conflict-edge
     chunks from the selected engine (``"tiled"`` block broadcast or
-    ``"pairs"`` flat gather)."""
+    ``"pairs"`` flat gather).  ``backend`` dispatches the tiled
+    engine's kernels; the pairs engine is numpy-only (its flat gather
+    is the formulation the compiled kernels exist to replace)."""
     if engine == "tiled":
         yield from sweep_conflict_hits(
             n, colmasks, edge_mask_fn, edge_block_fn,
-            tile=tile, tile_bytes=tile_bytes,
+            tile=tile, tile_bytes=tile_bytes, backend=backend,
         )
     elif engine == "pairs":
         from repro.device.kernels import conflict_pair_kernel
@@ -381,6 +442,7 @@ def sweep_block_hits(
     n: int,
     block_fn: EdgeBlockFn,
     tile: int,
+    backend: KernelBackend | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Generic tiled pair sweep: yield global ``(i, j)`` where
     ``block_fn``'s block is nonzero, upper triangle only.
@@ -388,8 +450,9 @@ def sweep_block_hits(
     Used by the explicit graph builders, whose predicate (anticommute /
     commute) applies to every pair rather than being conflict-filtered.
     """
+    block_op = backend.block_hits if backend is not None else block_hits
     for r0, r1, c0, c1 in iter_tiles(n, tile):
-        yield _block_hits(block_fn, r0, r1, c0, c1)
+        yield block_op(block_fn, r0, r1, c0, c1)
 
 
 def count_block_hits(n: int, block_fn: EdgeBlockFn, tile: int) -> int:

@@ -133,6 +133,21 @@ def payload_token_for(source) -> int:
     return token
 
 
+def _backend_for(kernel_backend: str | None):
+    """Resolve a kernel-backend *name* to an instance, lazily.
+
+    ``None`` means "no dispatch" — the tiles drivers run their direct
+    numpy path, exactly the pre-seam code.  The import is deferred so
+    the pool module never drags the backend registry (and through it
+    the device package) into its own import cycle.
+    """
+    if kernel_backend is None:
+        return None
+    from repro.device.backends import resolve_backend
+
+    return resolve_backend(kernel_backend)
+
+
 def sweep_payload(
     n: int,
     engine: str,
@@ -144,6 +159,7 @@ def sweep_payload(
     source=None,
     active_idx: np.ndarray | None = None,
     executor: Executor | None = None,
+    kernel_backend: str | None = None,
 ) -> tuple[dict, int | None]:
     """Build the install payload and its token for one sweep.
 
@@ -152,6 +168,12 @@ def sweep_payload(
     static part is elided and only the delta (colmasks, active indices,
     tile) ships.  Without a source the edge functions themselves are
     the static part and every install is a full one (token ``None``).
+
+    ``kernel_backend`` ships as a *name* in the static part and is
+    resolved by :func:`init_sweep_worker` in the worker process —
+    spawned and remote workers pick their backend against their own
+    environment (a cluster agent without numba degrades to numpy on
+    its own, bit-identically).
     """
     delta = {
         "n": n,
@@ -161,20 +183,24 @@ def sweep_payload(
     }
     if source is not None and executor is not None and executor.supports_payload_cache:
         # The token must name the *whole* static part, not just the
-        # source: the same executor swept with a different engine or
-        # chunk size is a different payload, and a delta-only install
-        # against the old cache would run stale config.  The leading
-        # "sweep" element is the token channel (see
-        # :func:`repro.parallel.executor.token_channel`): sweep and
-        # coloring payloads coexist on one persistent pool without
+        # source: the same executor swept with a different engine,
+        # chunk size or kernel backend is a different payload, and a
+        # delta-only install against the old cache would run stale
+        # config.  The leading "sweep" element is the token channel
+        # (see :func:`repro.parallel.executor.token_channel`): sweep
+        # and coloring payloads coexist on one persistent pool without
         # evicting each other's delta path.
-        token = ("sweep", payload_token_for(source), engine, chunk_size)
+        token = (
+            "sweep", payload_token_for(source), engine, chunk_size,
+            kernel_backend,
+        )
         static = {
             "engine": engine,
             "chunk_size": chunk_size,
             "source": source,
             "edge_mask_fn": None,
             "edge_block_fn": None,
+            "kernel_backend": kernel_backend,
         }
         if executor.holds_token(token):
             static = None
@@ -185,6 +211,7 @@ def sweep_payload(
         "source": source,
         "edge_mask_fn": edge_mask_fn if source is None else None,
         "edge_block_fn": edge_block_fn if source is None else None,
+        "kernel_backend": kernel_backend,
     }
     return {"token": None, "static": static, "delta": delta}, None
 
@@ -286,6 +313,9 @@ def init_sweep_worker(payload: dict) -> None:
             source = source.subset(idx)
         _WORKER["edge_mask_fn"] = source.edge_mask
         _WORKER["edge_block_fn"] = getattr(source, "edge_block", None)
+    # Worker-side backend resolution: the payload carries the *name*,
+    # each worker resolves it against its own environment.
+    _WORKER["backend"] = _backend_for(_WORKER.get("kernel_backend"))
     if _WORKER["engine"] == "tiled":
         _WORKER["grid"] = tile_grid(_WORKER["n"], _WORKER["tile"])
         _WORKER["scratch"] = TileScratch(_WORKER["tile"])
@@ -312,6 +342,7 @@ def _run_tile_strip(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
         _WORKER["edge_mask_fn"],
         _WORKER["edge_block_fn"],
         scratch=_WORKER["scratch"],
+        backend=_WORKER.get("backend"),
     )
 
 
@@ -398,12 +429,17 @@ def _init_block_worker(payload: dict) -> None:
     _WORKER.clear()
     _WORKER.update(payload)
     _WORKER["grid"] = tile_grid(payload["n"], payload["tile"])
+    _WORKER["backend"] = _backend_for(payload.get("kernel_backend"))
 
 
 def _run_block_strip(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
     """Worker task: generic block predicate over one strip of tiles."""
     start, stop = task
-    return block_hits_strip(_WORKER["block_fn"], _WORKER["grid"][start:stop])
+    return block_hits_strip(
+        _WORKER["block_fn"],
+        _WORKER["grid"][start:stop],
+        backend=_WORKER.get("backend"),
+    )
 
 
 def strip_shares(executor: Executor, n_tasks: int) -> list[int] | None:
@@ -473,6 +509,7 @@ def conflict_sweep_chunks(
     executor: Executor | None = None,
     source=None,
     active_idx: np.ndarray | None = None,
+    kernel_backend: str | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Executor-routed conflict sweep: yield ``(i, j)`` edge chunks.
 
@@ -503,6 +540,7 @@ def conflict_sweep_chunks(
         yield from sweep_conflict_chunks(
             n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
             tile_bytes=tile_bytes, tile=tile,
+            backend=_backend_for(kernel_backend),
         )
         return
     tasks, _ = sweep_strip_tasks(n, engine, tile, executor)
@@ -512,6 +550,7 @@ def conflict_sweep_chunks(
         colmasks=colmasks, edge_mask_fn=edge_mask_fn,
         edge_block_fn=edge_block_fn,
         source=source, active_idx=active_idx, executor=executor,
+        kernel_backend=kernel_backend,
     )
     try:
         yield from imap_sweep(executor, task_fn, tasks, payload_args)
@@ -535,6 +574,7 @@ def conflict_hit_chunks(
     source=None,
     active_idx: np.ndarray | None = None,
     region_cb=None,
+    kernel_backend: str | None = None,
 ):
     """One gather-policy seam for every conflict build.
 
@@ -561,6 +601,7 @@ def conflict_hit_chunks(
             tile_bytes=tile_bytes, tile=tile, executor=executor,
             est_conflict_edges=est_conflict_edges,
             source=source, active_idx=active_idx, region_cb=region_cb,
+            kernel_backend=kernel_backend,
         ) as gather:
             yield gather.chunks
         return
@@ -568,6 +609,7 @@ def conflict_hit_chunks(
         n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
         tile_bytes=tile_bytes, tile=tile, executor=executor,
         source=source, active_idx=active_idx,
+        kernel_backend=kernel_backend,
     )
     try:
         yield stream
@@ -592,6 +634,7 @@ def gathered_conflict_csr(
     source=None,
     active_idx: np.ndarray | None = None,
     timings: dict | None = None,
+    kernel_backend: str | None = None,
 ) -> tuple[CSRGraph, int]:
     """Sweep-and-assemble: the shared back half of every host conflict
     build.  Runs one sweep through :func:`conflict_hit_chunks` and
@@ -612,6 +655,7 @@ def gathered_conflict_csr(
         tile_bytes=tile_bytes, executor=executor, shm=shm,
         est_conflict_edges=est_conflict_edges,
         source=source, active_idx=active_idx,
+        kernel_backend=kernel_backend,
     ) as hit_stream:
         try:
             t0 = time.perf_counter()
@@ -672,6 +716,7 @@ def fused_conflict_csr(
     active_idx: np.ndarray | None = None,
     region_pool=None,
     timings: dict | None = None,
+    kernel_backend: str | None = None,
 ) -> tuple[CSRGraph, np.ndarray, int]:
     """Fused sweep-and-assemble: one pass from pair sweep to
     coloring-ready conflict state.
@@ -703,6 +748,7 @@ def fused_conflict_csr(
             n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
             tile_bytes=tile_bytes, executor=executor,
             source=source, active_idx=active_idx,
+            kernel_backend=kernel_backend,
         )
         try:
             for u, v in stream:
@@ -722,6 +768,7 @@ def fused_conflict_csr(
             est_conflict_edges=est_conflict_edges,
             source=source, active_idx=active_idx,
             fused=True, region_pool=region_pool,
+            kernel_backend=kernel_backend,
         ) as gather:
             for verts in gather.strip_verts:
                 if len(verts):
@@ -747,6 +794,7 @@ def fused_conflict_csr(
             colmasks=colmasks, edge_mask_fn=edge_mask_fn,
             edge_block_fn=edge_block_fn,
             source=source, active_idx=active_idx, executor=executor,
+            kernel_backend=kernel_backend,
         )
         try:
             for u, v, verts in imap_sweep(
@@ -774,17 +822,23 @@ def block_sweep_chunks(
     block_fn: EdgeBlockFn,
     tile: int,
     executor: Executor | None = None,
+    kernel_backend: str | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Executor-routed generic tiled pair sweep (explicit graph
     builders): yield upper-triangle ``(i, j)`` hits of ``block_fn`` in
     canonical tile order, strip-parallel when a pool backend is given."""
     if executor is None or isinstance(executor, SerialExecutor):
-        yield from sweep_block_hits(n, block_fn, tile)
+        yield from sweep_block_hits(
+            n, block_fn, tile, backend=_backend_for(kernel_backend)
+        )
         return
     n_tasks = max(1, executor.n_workers) * TASKS_PER_WORKER
     blocks = partition_tiles(n, tile, n_tasks)
     tasks = [(b.start, b.stop) for b in blocks if len(b)]
-    payload = {"n": n, "tile": tile, "block_fn": block_fn}
+    payload = {
+        "n": n, "tile": tile, "block_fn": block_fn,
+        "kernel_backend": kernel_backend,
+    }
     try:
         yield from executor.imap(
             _run_block_strip, tasks, initializer=_init_block_worker,
@@ -804,6 +858,7 @@ def parallel_conflict_graph(
     tile_bytes: int = DEFAULT_TILE_BYTES,
     executor: Executor | None = None,
     shm: bool = False,
+    kernel_backend: str | None = None,
 ) -> tuple[CSRGraph, int]:
     """Build the conflict graph over a Pauli set with worker processes.
 
@@ -858,4 +913,5 @@ def parallel_conflict_graph(
             tile_bytes=tile_bytes,
             executor=ex,
             shm=shm,
+            kernel_backend=kernel_backend,
         )

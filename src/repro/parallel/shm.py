@@ -364,6 +364,7 @@ def shm_conflict_gather(
     region_cb=None,
     fused: bool = False,
     region_pool: "ShmRegionPool | None" = None,
+    kernel_backend: str | None = None,
 ):
     """Run one conflict sweep through the shared-memory gather path.
 
@@ -423,6 +424,7 @@ def shm_conflict_gather(
         colmasks=colmasks, edge_mask_fn=edge_mask_fn,
         edge_block_fn=edge_block_fn,
         source=source, active_idx=active_idx, executor=executor,
+        kernel_backend=kernel_backend,
     )
     if fused:
         task_fn = (

@@ -17,6 +17,7 @@ from repro.core.conflict import build_conflict_graph, count_conflict_edges
 from repro.core.palette import assign_color_lists
 from repro.core.sources import PauliComplementSource
 from repro.coloring.parallel_list import parallel_list_color
+from repro.device.backends import available_backends
 from repro.distributed import LocalCluster
 from repro.parallel.executor import PoolExecutor
 from repro.pauli import random_pauli_set
@@ -141,13 +142,17 @@ class TestPicassoEquivalence:
         np.testing.assert_array_equal(serial.colors, dist.colors)
         assert serial.engine == dist.engine == "parallel-list"
 
+    @pytest.mark.parametrize("kernel_backend", available_backends())
     @pytest.mark.parametrize(
         "color_engine", ["greedy-dynamic", "parallel-list"]
     )
-    def test_fused_identical_to_unfused(self, cluster, color_engine):
+    def test_fused_identical_to_unfused(
+        self, cluster, color_engine, kernel_backend
+    ):
         """The PR 7 bit-identity contract: the fused iterate lands on
         the classic iterate's exact colors for every gather/executor
-        combination and both coloring engines."""
+        combination, both coloring engines and every available kernel
+        backend."""
         ps = random_pauli_set(150, 8, seed=9)
         ref = Picasso(
             params=PicassoParams(color_engine=color_engine, fused=False),
@@ -161,7 +166,8 @@ class TestPicassoEquivalence:
         ):
             got = Picasso(
                 params=PicassoParams(
-                    color_engine=color_engine, fused=True, **kw
+                    color_engine=color_engine, fused=True,
+                    kernel_backend=kernel_backend, **kw
                 ),
                 seed=11,
             ).color(ps)

@@ -11,6 +11,7 @@ from repro.core import Picasso, PicassoParams
 from repro.core.conflict import build_conflict_graph, count_conflict_edges
 from repro.core.palette import assign_color_lists
 from repro.core.sources import PauliComplementSource
+from repro.device.backends import available_backends
 from repro.parallel import (
     PoolExecutor,
     parallel_conflict_graph,
@@ -123,16 +124,23 @@ class TestBackendEquivalence:
             ps.n, src.edge_mask, masks, edge_block_fn=src.edge_block, **kw
         )
 
+    @pytest.mark.parametrize("kernel_backend", available_backends())
     @pytest.mark.parametrize("n_workers", _WORKER_COUNTS)
-    def test_tiled_parallel_bit_identical(self, n_workers):
+    def test_tiled_parallel_bit_identical(self, n_workers, kernel_backend):
         ps = random_pauli_set(120, 7, seed=5)
         _, masks = assign_color_lists(120, 18, 5, rng=3)
         ref, m_ref = self._build(ps, masks)
         pairs, m_pairs = self._build(ps, masks, engine="pairs")
-        got, m_got = self._build(ps, masks, n_workers=n_workers)
-        assert m_got == m_ref == m_pairs
+        got, m_got = self._build(
+            ps, masks, n_workers=n_workers, kernel_backend=kernel_backend
+        )
+        serial, m_serial = self._build(
+            ps, masks, kernel_backend=kernel_backend
+        )
+        assert m_got == m_ref == m_pairs == m_serial
         _assert_bit_identical(got, ref)
         _assert_bit_identical(got, pairs)
+        _assert_bit_identical(serial, ref)
 
     @pytest.mark.parametrize("n_workers", _WORKER_COUNTS)
     def test_shm_gather_bit_identical(self, n_workers):
@@ -163,14 +171,19 @@ class TestBackendEquivalence:
         _assert_bit_identical(par, ref)
         _assert_bit_identical(pairs, ref)
 
+    @pytest.mark.parametrize("kernel_backend", available_backends())
     @pytest.mark.parametrize("n_workers", _WORKER_COUNTS)
-    def test_picasso_colorings_identical(self, n_workers):
+    def test_picasso_colorings_identical(self, n_workers, kernel_backend):
         """End-to-end Algorithm 1: the parallel backend draws the same
-        conflict graphs, so the coloring is identical per seed."""
+        conflict graphs, so the coloring is identical per seed — on
+        every available kernel backend."""
         ps = random_pauli_set(150, 8, seed=9)
         serial = Picasso(params=PicassoParams(), seed=11).color(ps)
         par = Picasso(
-            params=PicassoParams(n_workers=n_workers), seed=11
+            params=PicassoParams(
+                n_workers=n_workers, kernel_backend=kernel_backend
+            ),
+            seed=11,
         ).color(ps)
         np.testing.assert_array_equal(serial.colors, par.colors)
         assert serial.n_colors == par.n_colors

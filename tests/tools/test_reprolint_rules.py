@@ -240,6 +240,38 @@ CASES = [
         "from repro.coloring.greedy_list import greedy_list_color_dynamic\n",
         False,
     ),
+    # -- backend-registry -------------------------------------------------
+    (
+        "backend-registry",
+        "src/repro/device/tiles.py",
+        "import numba\n",
+        True,
+    ),
+    (
+        "backend-registry",
+        "src/repro/core/x.py",
+        "from cupy import asnumpy\n",
+        True,
+    ),
+    (
+        "backend-registry",
+        "src/repro/parallel/x.py",
+        "from repro.device.backends.numba_backend import NumbaBackend\n",
+        True,
+    ),
+    (
+        "backend-registry",
+        "src/repro/parallel/x.py",
+        "from repro.device.backends import resolve_backend\n",
+        False,
+    ),
+    # Inside the backend package, runtime imports are the point.
+    (
+        "backend-registry",
+        "src/repro/device/backends/numba_backend.py",
+        "import numba\n",
+        False,
+    ),
     # -- socket-scope -----------------------------------------------------
     (
         "socket-scope",

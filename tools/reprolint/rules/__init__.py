@@ -24,6 +24,7 @@ from tools.reprolint.rules.determinism import (
     SetIterationRule,
 )
 from tools.reprolint.rules.layering import (
+    BackendRegistryRule,
     EngineRegistryRule,
     PrivateImportRule,
     SocketScopeRule,
@@ -47,6 +48,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NoWallClockRule(),
     SetIterationRule(),
     EngineRegistryRule(),
+    BackendRegistryRule(),
     SocketScopeRule(),
     PrivateImportRule(),
     ShmRegionScopeRule(),

@@ -67,6 +67,59 @@ class EngineRegistryRule(Rule):
                 )
 
 
+#: Kernel-backend *implementation* modules.  Everything outside
+#: ``repro.device.backends`` reaches them through the registry
+#: (``get_backend``/``resolve_backend``) or the package itself, so the
+#: numpy/numba/cupy paths stay swappable behind one dispatch seam.
+_BACKEND_IMPL_MODULES = frozenset(
+    {
+        "repro.device.backends.numpy_backend",
+        "repro.device.backends.numba_backend",
+        "repro.device.backends.cupy_backend",
+    }
+)
+
+#: Accelerator runtimes only the backend package may import.
+_ACCEL_RUNTIMES = ("numba", "cupy")
+
+
+class BackendRegistryRule(Rule):
+    """Kernel backends are reached through the registry; accelerator
+    runtimes (numba/cupy) are confined to ``device/backends/``."""
+
+    name = "backend-registry"
+    contract = (
+        "outside repro.device.backends, kernel backends are selected "
+        "through the registry (get_backend/resolve_backend) — never by "
+        "importing an implementation module — and the accelerator "
+        "runtimes (numba, cupy) are never imported directly, so every "
+        "compiled path stays behind one import-guarded dispatch seam"
+    )
+    scope = ("src/repro/",)
+    exclude = ("src/repro/device/backends/",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node, module in _imported_modules(ctx.tree):
+            top = module.split(".")[0]
+            if top in _ACCEL_RUNTIMES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"import of accelerator runtime '{module}' outside "
+                    "repro.device.backends: the compiled paths are "
+                    "import-guarded there — go through get_backend/"
+                    "resolve_backend",
+                )
+            elif module in _BACKEND_IMPL_MODULES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"import of backend implementation '{module}': use "
+                    "repro.device.backends.get_backend/resolve_backend "
+                    "or the package API",
+                )
+
+
 class SocketScopeRule(Rule):
     """Process/socket primitives live behind the executor/transport."""
 
