@@ -1,11 +1,17 @@
 """CI quick-bench regression gate.
 
 Compares the headline ``total_s`` of a fresh ``--quick`` bench run
-(``benchmarks/results/BENCH_PR9.quick.json``) against the newest
-committed trajectory file (``BENCH_PR*.json`` at the repo root) and
-fails when any shared row slowed down by more than the threshold
+(``benchmarks/results/BENCH_PR<newest>.quick.json``) against the
+newest committed trajectory file (``BENCH_PR*.json`` at the repo root)
+and fails when any shared row slowed down by more than the threshold
 (default 25%, override via ``REPRO_BENCH_REGRESSION_PCT`` or
 ``--threshold-pct``).
+
+Artifact numbering is derived, never hardcoded: the PR sequence has
+gaps (a lint-only PR ships no trajectory file — there is no
+``BENCH_PR8.json``), so both tools resolve names against the highest
+``BENCH_PR<k>.json`` actually present — quick artifacts are named for
+the newest committed trajectory and a full run writes ``<newest+1>``.
 
 Only cases and rows present in *both* reports are compared — a quick
 run carries the ``small`` case only, so the gate measures dispatch and
@@ -33,20 +39,49 @@ import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-QUICK_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_PR9.quick.json"
 
 #: Commit-message tag that turns a failing gate into a warning.
 WAIVER_TAG = "[bench-waiver]"
 
 
-def newest_committed_bench() -> pathlib.Path | None:
-    """Highest-numbered ``BENCH_PR<k>.json`` at the repo root."""
+def newest_committed_bench(
+    root: pathlib.Path = REPO_ROOT,
+) -> pathlib.Path | None:
+    """Highest-numbered ``BENCH_PR<k>.json`` at the repo root.
+
+    Gap-tolerant by construction: the trajectory is whatever files
+    exist, not a contiguous range (lint-only PRs ship none).
+    """
     best, best_k = None, -1
-    for p in REPO_ROOT.glob("BENCH_PR*.json"):
+    for p in pathlib.Path(root).glob("BENCH_PR*.json"):
         m = re.fullmatch(r"BENCH_PR(\d+)\.json", p.name)
         if m and int(m.group(1)) > best_k:
             best, best_k = p, int(m.group(1))
     return best
+
+
+def newest_pr_number(root: pathlib.Path = REPO_ROOT) -> int:
+    """The ``k`` of the newest committed trajectory file (0 when none)."""
+    best = newest_committed_bench(root)
+    if best is None:
+        return 0
+    return int(re.fullmatch(r"BENCH_PR(\d+)\.json", best.name).group(1))
+
+
+def next_pr_number(root: pathlib.Path = REPO_ROOT) -> int:
+    """The number a full bench run writes under (newest committed + 1)."""
+    return newest_pr_number(root) + 1
+
+
+def quick_report_path(root: pathlib.Path = REPO_ROOT) -> pathlib.Path:
+    """Where ``run_bench.py --quick`` writes: named for the newest
+    committed trajectory (the baseline it is gated against), under the
+    ignored results directory so CI can never land it in the tree."""
+    k = newest_pr_number(root)
+    return (
+        pathlib.Path(root) / "benchmarks" / "results"
+        / f"BENCH_PR{k}.quick.json"
+    )
 
 
 def head_commit_message() -> str:
@@ -100,8 +135,9 @@ def compare(new: dict, base: dict, threshold_pct: float) -> list[str]:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--new", default=str(QUICK_PATH), metavar="PATH",
-        help="fresh quick-bench report (default the --quick output path)",
+        "--new", default=None, metavar="PATH",
+        help="fresh quick-bench report (default the --quick output "
+        "path, named for the newest committed BENCH_PR*.json)",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -128,7 +164,9 @@ def main(argv=None) -> int:
     if baseline is None or not baseline.exists():
         print("warning: no committed BENCH_PR*.json baseline; skipping gate")
         return 0
-    new_path = pathlib.Path(args.new)
+    new_path = (
+        pathlib.Path(args.new) if args.new else quick_report_path()
+    )
     if not new_path.exists():
         print(f"error: quick report {new_path} not found — run "
               "benchmarks/run_bench.py --quick first", file=sys.stderr)

@@ -60,9 +60,18 @@ round-parallelism); the delta is recorded, not hidden.
   the numpy/numba ratio of the conflict-build (sweep) phase.  Per-
   kernel ns/word microbenchmarks live in ``bench_kernels.py``.
 
-Elapsed seconds land in ``BENCH_PR9.json`` at the repo root; the JSON
-files form the performance trajectory (``BENCH_PR1..8.json`` hold the
-earlier axes), so regressions are visible in review.
+- **telemetry** (new) — a probe pass re-runs the last case with
+  telemetry enabled and records the headline counter totals (transport
+  bytes over the cluster row, pool install delta hit-rate, shm region
+  reuse) plus the merged Prometheus snapshot as an artifact next to
+  the report; a microbenchmark of the disabled no-op hooks asserts the
+  default-off path adds < 2% to the headline wall time.
+
+Elapsed seconds land in ``BENCH_PR<next>.json`` at the repo root,
+where ``<next>`` is one past the newest committed trajectory file; the
+JSON files form the performance trajectory (``BENCH_PR1..9.json`` hold
+the earlier axes — the sequence has gaps where a PR shipped no perf
+change), so regressions are visible in review.
 
 The parallel rows record ``host_cpu_count``; on hosts with fewer cores
 than ``--workers`` the speedup is bounded by the core count (a
@@ -90,17 +99,46 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.coloring.engine import available_engines
 from repro.core import Picasso, PicassoParams
 from repro.device.backends import available_backends
 from repro.pauli import random_pauli_set
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_PR9.json"
-#: --quick writes here instead — an ignored directory, so a CI smoke
-#: run can never land an artifact in the tree or clobber the committed
-#: full-size trajectory file.
-QUICK_OUT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_PR9.quick.json"
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+if str(_BENCH_DIR) not in sys.path:  # direct `python benchmarks/...` run
+    sys.path.insert(0, str(_BENCH_DIR))
+from check_regression import (  # noqa: E402
+    newest_pr_number,
+    next_pr_number,
+    quick_report_path,
+)
+
+REPO_ROOT = _BENCH_DIR.parent
+
+
+def out_path(quick: bool) -> pathlib.Path:
+    """Report destination, numbered off the committed trajectory.
+
+    A full run writes the *next* trajectory file at the repo root
+    (newest committed + 1 — the number this PR will commit under);
+    ``--quick`` writes under the ignored results directory, named for
+    the newest *committed* file (the baseline the CI gate compares it
+    against), so a CI smoke run can never land an artifact in the tree
+    or clobber the committed full-size trajectory.  Both derivations
+    tolerate gaps in the PR sequence (there is no ``BENCH_PR8.json``).
+    """
+    if quick:
+        return quick_report_path(REPO_ROOT)
+    return REPO_ROOT / f"BENCH_PR{next_pr_number(REPO_ROOT)}.json"
+
+
+def telemetry_snapshot_path(quick: bool) -> pathlib.Path:
+    """The Prometheus-text artifact written next to the quick report
+    (CI uploads it alongside the bench JSON)."""
+    k = newest_pr_number(REPO_ROOT) if quick else next_pr_number(REPO_ROOT)
+    suffix = ".quick.telemetry.prom" if quick else ".telemetry.prom"
+    return REPO_ROOT / "benchmarks" / "results" / f"BENCH_PR{k}{suffix}"
 
 #: (name, n strings, n qubits) — the last row is the acceptance
 #: headline: 10k strings over 50 qubits.
@@ -140,6 +178,79 @@ def run_config(pauli_set, params: PicassoParams, seed: int, repeats: int = 2) ->
         "max_conflict_edges": int(result.max_conflict_edges),
         "colors": result.colors,
     }
+
+
+def _counter(snap: dict, name: str) -> float:
+    return float(snap["counters"].get(name, 0.0))
+
+
+def telemetry_probe(pauli_set, hosts: str, workers: int, seed: int) -> tuple[dict, dict]:
+    """Enabled re-run of one case on the pooled-shm and cluster
+    backends: headline counter totals plus the merged snapshot.
+
+    Runs after every timing measurement (the enabled path is not the
+    one being timed) and leaves telemetry disabled behind it.
+    """
+    telemetry.reset()
+    telemetry.enable(True)
+    try:
+        Picasso(
+            params=PicassoParams(
+                engine="tiled", n_workers=workers, shm_gather=True,
+                telemetry=True,
+            ),
+            seed=seed,
+        ).color(pauli_set)
+        Picasso(
+            params=PicassoParams(engine="tiled", hosts=hosts, telemetry=True),
+            seed=seed,
+        ).color(pauli_set)
+        snap = telemetry.snapshot()
+    finally:
+        telemetry.enable(False)
+        telemetry.reset()
+    delta = _counter(snap, "pool.install.delta")
+    full = _counter(snap, "pool.install.full")
+    reuse = _counter(snap, "shm.region.reuse")
+    create = _counter(snap, "shm.region.create")
+    totals = {
+        "transport_bytes_sent": int(_counter(snap, "transport.bytes_sent")),
+        "transport_bytes_recv": int(_counter(snap, "transport.bytes_recv")),
+        "install_delta_hit_rate": round(delta / max(delta + full, 1.0), 4),
+        "shm_region_reuse_rate": round(reuse / max(reuse + create, 1.0), 4),
+        "span_events": len(snap["events"]),
+    }
+    return totals, snap
+
+
+def disabled_overhead_pct(headline_total_s: float, snap: dict) -> tuple[float, float]:
+    """Cost of the default-off telemetry hooks on the headline row.
+
+    Microbenchmarks one disabled no-op hook call, scales it by the hook
+    call volume the *enabled* probe actually recorded (spans enter
+    through three calls; each counter whose value is a count fired once
+    per unit; byte totals share their call sites' frame/region
+    counters; histogram observations carry their own count), and
+    returns ``(pct_of_headline, ns_per_call)``.
+    """
+    assert not telemetry.enabled()
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        telemetry.count("bench.noop")
+    per_call = (time.perf_counter() - t0) / n
+    ops = 3.0 * len(snap["events"])
+    for key, val in snap["counters"].items():
+        if "bytes" not in key:
+            ops += val
+    # Byte totals fire one hook per frame / region alongside these.
+    ops += _counter(snap, "transport.frames_sent")
+    ops += _counter(snap, "transport.frames_recv")
+    ops += _counter(snap, "shm.region.reuse") + _counter(snap, "shm.region.create")
+    for hist in snap["hists"].values():
+        ops += hist.get("count", 0.0)
+    pct = 100.0 * per_call * ops / max(headline_total_s, 1e-9)
+    return round(pct, 4), round(per_call * 1e9, 1)
 
 
 def phase_breakdown(row: dict) -> dict:
@@ -477,10 +588,46 @@ def _run_cases(args, report, hosts, cases, kernel_backend) -> int:
             print("ERROR: backends diverged", file=sys.stderr)
             return 1
 
-    out_path = QUICK_OUT_PATH if args.quick else OUT_PATH
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    # PR 10: telemetry probe (enabled re-run of the last case) plus the
+    # disabled-by-default overhead assertion against the headline row.
+    name, n, nq = cases[-1]
+    pauli_set = random_pauli_set(n, nq, seed=0)
+    totals, snap = telemetry_probe(pauli_set, hosts, args.workers, args.seed)
+    headline_total = report["cases"][-1]["tiled"]["total_s"]
+    overhead_pct, ns_per_call = disabled_overhead_pct(headline_total, snap)
+    report["telemetry"] = {
+        "probe_case": name,
+        **totals,
+        "disabled_ns_per_call": ns_per_call,
+        "disabled_overhead_pct": overhead_pct,
+    }
+    print(
+        f"telemetry probe ({name}): transport "
+        f"{totals['transport_bytes_sent']:,}B out / "
+        f"{totals['transport_bytes_recv']:,}B in, install delta hit-rate "
+        f"{totals['install_delta_hit_rate']:.2f}, shm reuse "
+        f"{totals['shm_region_reuse_rate']:.2f}, disabled overhead "
+        f"{overhead_pct:.4f}% ({ns_per_call:.0f} ns/hook)"
+    )
+    if overhead_pct >= 2.0:
+        print(
+            f"ERROR: disabled telemetry overhead {overhead_pct:.2f}% "
+            "exceeds the 2% acceptance bound on the headline row",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Resolve both destinations before the report lands: a full run
+    # advances the trajectory, which would shift a late derivation of
+    # the snapshot name to the *next* PR number.
+    dest = out_path(args.quick)
+    snap_path = telemetry_snapshot_path(args.quick)
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    dest.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {dest}")
+    snap_path.parent.mkdir(parents=True, exist_ok=True)
+    telemetry.write_prometheus(snap_path, snap)
+    print(f"wrote {snap_path}")
     return 0
 
 

@@ -9,6 +9,14 @@ Subcommands mirror the workflows of the paper's evaluation:
 - ``sweep``    — (P', alpha) grid sweep with the Eq. 7 optima per beta;
 - ``taper``    — Z2 symmetries and qubit tapering for a molecule.
 
+Every subcommand takes the same three observability flags:
+``--metrics-json PATH`` (one uniform run-summary JSON document, same
+top-level schema everywhere, ``null`` where a field does not apply),
+``--trace-json PATH`` (the merged telemetry event trace as JSON lines)
+and ``--metrics-out PATH`` (a Prometheus-style text snapshot of the
+telemetry counters).  The trace/snapshot flags enable telemetry for
+the process; ``REPRO_TELEMETRY=1`` does the same without writing files.
+
 Entry point: ``repro-picasso`` (or ``python -m repro.cli``).
 """
 
@@ -19,16 +27,68 @@ import sys
 
 import numpy as np
 
+from repro import telemetry
+
+
+def _metrics_payload(
+    command: str,
+    *,
+    algorithm: str | None = None,
+    elapsed_s: float | None = None,
+    n_colors: int | None = None,
+    iterations: list | None = None,
+    phase_times: dict | None = None,
+    **extra,
+) -> dict:
+    """The uniform ``--metrics-json`` document.
+
+    Every subcommand emits the same six top-level keys (``command``,
+    ``algorithm``, ``elapsed_s``, ``n_colors``, ``iterations``,
+    ``phase_times``) with ``null`` where a field does not apply, plus
+    command-specific extras after them — so one consumer parses all
+    five subcommands.
+    """
+    payload: dict = {
+        "command": command,
+        "algorithm": algorithm,
+        "elapsed_s": elapsed_s,
+        "n_colors": n_colors,
+        "iterations": iterations,
+        "phase_times": phase_times,
+    }
+    payload.update(extra)
+    return payload
+
+
+def _write_metrics_json(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"metrics written to {path}")
+
 
 def _cmd_census(args: argparse.Namespace) -> int:
     from repro.datasets import load_molecule, suite_specs
     from repro.graphs import anticommute_edge_count
 
+    t0 = telemetry.clock()
+    rows = []
     print(f"{'molecule':<16} {'qubits':>7} {'terms':>9} {'anticommute edges':>18}")
     for spec in suite_specs(args.tier):
         ps = load_molecule(spec.name)
         m = anticommute_edge_count(ps)
         print(f"{spec.name:<16} {ps.n_qubits:>7} {ps.n:>9,} {m:>18,}")
+        rows.append({
+            "molecule": spec.name, "qubits": ps.n_qubits,
+            "terms": ps.n, "anticommute_edges": int(m),
+        })
+    if args.metrics_json:
+        _write_metrics_json(args.metrics_json, _metrics_payload(
+            "census", elapsed_s=telemetry.clock() - t0,
+            tier=args.tier, molecules=rows,
+        ))
     return 0
 
 
@@ -36,9 +96,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.chemistry import hn_pauli_set
     from repro.pauli import save_pauli_set
 
+    t0 = telemetry.clock()
     ps = hn_pauli_set(args.atoms, args.dim, args.basis, transform=args.transform)
     save_pauli_set(ps, args.output)
     print(f"wrote {ps.n} Pauli strings over {ps.n_qubits} qubits to {args.output}")
+    if args.metrics_json:
+        _write_metrics_json(args.metrics_json, _metrics_payload(
+            "generate", elapsed_s=telemetry.clock() - t0,
+            n_strings=ps.n, n_qubits=ps.n_qubits, output=args.output,
+        ))
     return 0
 
 
@@ -88,33 +154,38 @@ def _make_params(args: argparse.Namespace):
 
 
 def _write_metrics(path: str, result, algorithm: str) -> None:
-    """Per-iteration stats + phase wall-time buckets as JSON.
+    """The ``color`` run summary: uniform schema plus per-iteration
+    stats and phase wall-time buckets.
 
     Picasso results carry the full iteration trace (including the PR 7
     sweep / assemble / edge_sweep split); baseline algorithms get the
-    headline numbers only.
+    headline numbers with ``null`` iteration fields.
     """
     import dataclasses
-    import json
 
-    payload = {
-        "algorithm": result.algorithm,
-        "n_colors": int(result.n_colors),
-        "peak_bytes": int(result.peak_bytes),
-        "elapsed_s": float(result.elapsed_s),
-    }
     if algorithm == "picasso":
-        payload["n_iterations"] = result.n_iterations
-        payload["max_conflict_edges"] = int(result.max_conflict_edges)
-        payload["phase_times"] = {
-            k: float(v) for k, v in result.phase_times().items()
-        }
-        payload["iterations"] = [
-            dataclasses.asdict(s) for s in result.iterations
-        ]
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+        payload = _metrics_payload(
+            "color",
+            algorithm=result.algorithm,
+            elapsed_s=float(result.elapsed_s),
+            n_colors=int(result.n_colors),
+            iterations=[dataclasses.asdict(s) for s in result.iterations],
+            phase_times={
+                k: float(v) for k, v in result.phase_times().items()
+            },
+            peak_bytes=int(result.peak_bytes),
+            n_iterations=result.n_iterations,
+            max_conflict_edges=int(result.max_conflict_edges),
+        )
+    else:
+        payload = _metrics_payload(
+            "color",
+            algorithm=result.algorithm,
+            elapsed_s=float(result.elapsed_s),
+            n_colors=int(result.n_colors),
+            peak_bytes=int(result.peak_bytes),
+        )
+    _write_metrics_json(path, payload)
 
 
 def _cmd_color(args: argparse.Namespace) -> int:
@@ -159,9 +230,8 @@ def _cmd_color(args: argparse.Namespace) -> int:
     if args.output:
         np.savetxt(args.output, result.colors, fmt="%d")
         print(f"colors written to {args.output}")
-    if getattr(args, "metrics_json", None):
+    if args.metrics_json:
         _write_metrics(args.metrics_json, result, args.algorithm)
-        print(f"metrics written to {args.metrics_json}")
     return 0
 
 
@@ -169,6 +239,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.pauli import load_pauli_set
     from repro.predict import optimal_frontier, run_sweep
 
+    t0 = telemetry.clock()
     ps = load_pauli_set(args.input)
     points = run_sweep(
         ps,
@@ -182,12 +253,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{p.palette_percent:>6.1f} {p.alpha:>6.1f} {p.n_colors:>7} "
             f"{p.max_conflict_edges:>10,} {p.elapsed_s:>7.2f}"
         )
+    optima = list(optimal_frontier(points))
     print("\nEq. 7 optima:")
-    for beta, best in optimal_frontier(points):
+    for beta, best in optima:
         print(
             f"  beta={beta:.1f}: P'={best.palette_percent}% alpha={best.alpha} "
             f"({best.n_colors} colors, {best.max_conflict_edges:,} conflict edges)"
         )
+    if args.metrics_json:
+        _write_metrics_json(args.metrics_json, _metrics_payload(
+            "sweep",
+            algorithm="picasso",
+            elapsed_s=telemetry.clock() - t0,
+            points=[{
+                "palette_percent": p.palette_percent, "alpha": p.alpha,
+                "n_colors": int(p.n_colors),
+                "max_conflict_edges": int(p.max_conflict_edges),
+                "elapsed_s": float(p.elapsed_s),
+            } for p in points],
+            optima=[{
+                "beta": beta,
+                "palette_percent": best.palette_percent,
+                "alpha": best.alpha,
+                "n_colors": int(best.n_colors),
+            } for beta, best in optima],
+        ))
     return 0
 
 
@@ -199,6 +289,7 @@ def _cmd_taper(args: argparse.Namespace) -> int:
         taper_qubits,
     )
 
+    t0 = telemetry.clock()
     geom = hydrogen_cluster(args.atoms, args.dim, args.basis)
     qop = molecular_qubit_operator(geom)
     n = geom.n_spin_orbitals
@@ -216,7 +307,41 @@ def _cmd_taper(args: argparse.Namespace) -> int:
         f"tapered to {result.n_qubits_after} qubits "
         f"(removed {result.removed_qubits}), {result.operator.n_terms} terms"
     )
+    if args.metrics_json:
+        _write_metrics_json(args.metrics_json, _metrics_payload(
+            "taper",
+            elapsed_s=telemetry.clock() - t0,
+            molecule=geom.name,
+            n_qubits_before=n,
+            n_qubits_after=result.n_qubits_after,
+            n_symmetries=len(gens),
+            n_terms=result.operator.n_terms,
+        ))
     return 0
+
+
+def _add_observability_flags(p: argparse.ArgumentParser) -> None:
+    """The three flags every subcommand shares (one schema each)."""
+    p.add_argument(
+        "--metrics-json", default=None, dest="metrics_json", metavar="PATH",
+        help="dump a uniform run-summary JSON document to PATH (same "
+        "top-level keys on every subcommand — command / algorithm / "
+        "elapsed_s / n_colors / iterations / phase_times, null where "
+        "not applicable — plus command-specific extras; for 'color' "
+        "with picasso this includes the per-iteration phase buckets)",
+    )
+    p.add_argument(
+        "--trace-json", default=None, dest="trace_json", metavar="PATH",
+        help="enable telemetry and write the merged event trace "
+        "(dispatcher phase spans, worker strip spans, counters) to "
+        "PATH as JSON lines after the command finishes",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, dest="metrics_out", metavar="PATH",
+        help="enable telemetry and write a Prometheus-style text "
+        "snapshot of the run's counters/gauges/histograms to PATH "
+        "after the command finishes",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -228,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("census", help="dataset census (Table II)")
     p.add_argument("--tier", default="small", choices=["small", "medium", "large"])
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_census)
 
     p = sub.add_parser("generate", help="molecule -> Pauli-set file")
@@ -237,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transform", default="jordan_wigner",
                    choices=["jordan_wigner", "bravyi_kitaev"])
     p.add_argument("--output", "-o", required=True)
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("color", help="color a Pauli-set file")
@@ -350,14 +477,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(default on, also via REPRO_FUSED=0/1; bit-identical either "
         "way — --no-fused keeps the classic iterate)",
     )
-    p.add_argument(
-        "--metrics-json", default=None, dest="metrics_json", metavar="PATH",
-        help="dump per-iteration stats and phase wall-time buckets "
-        "(assignment / conflict build incl. sweep+assemble / coloring "
-        "/ dispatcher edge sweep) to PATH as JSON",
-    )
     p.add_argument("--validate", action="store_true")
     p.add_argument("--output", "-o", default=None, help="write per-vertex colors")
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_color)
 
     p = sub.add_parser("sweep", help="(P', alpha) grid sweep with Eq. 7 optima")
@@ -366,12 +488,14 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[2.5, 5.0, 10.0, 15.0])
     p.add_argument("--alphas", type=float, nargs="+", default=[1.0, 2.0, 4.0])
     p.add_argument("--seed", type=int, default=0)
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("taper", help="Z2 symmetries + qubit tapering")
     p.add_argument("--atoms", type=int, required=True)
     p.add_argument("--dim", type=int, default=1, choices=[1, 2, 3])
     p.add_argument("--basis", default="sto3g", choices=["sto3g", "631g", "6311g"])
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_taper)
 
     return parser
@@ -379,7 +503,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    # The exporter flags imply telemetry for the whole process: the
+    # dispatcher-side enable also rides every worker install, so pool
+    # and cluster deltas fold into the exported snapshot.
+    export = args.trace_json or args.metrics_out
+    if export:
+        telemetry.enable(True)
+    rc = args.func(args)
+    if export:
+        snap = telemetry.snapshot()
+        if args.trace_json:
+            telemetry.write_trace_jsonl(args.trace_json, snap)
+            print(f"trace written to {args.trace_json}")
+        if args.metrics_out:
+            telemetry.write_prometheus(args.metrics_out, snap)
+            print(f"telemetry snapshot written to {args.metrics_out}")
+    return rc
 
 
 if __name__ == "__main__":

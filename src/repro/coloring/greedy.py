@@ -11,10 +11,9 @@ the structures whose bytes Table IV accounts.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import telemetry
 from repro.coloring.base import ColoringResult, smallest_available_color
 from repro.coloring.ordering import ALL_ORDERS, DYNAMIC_ORDERS, static_order
 from repro.graphs.csr import CSRGraph
@@ -38,7 +37,7 @@ def greedy_coloring(
     """
     if order not in ALL_ORDERS:
         raise ValueError(f"unknown order {order!r}; expected one of {ALL_ORDERS}")
-    t0 = time.perf_counter()
+    t0 = telemetry.clock()
     if order in DYNAMIC_ORDERS:
         colors = (
             _greedy_dlf(graph) if order == "dlf" else _greedy_incidence(graph)
@@ -46,7 +45,7 @@ def greedy_coloring(
     else:
         perm = static_order(graph, order, seed)
         colors = _greedy_static(graph, perm)
-    elapsed = time.perf_counter() - t0
+    elapsed = telemetry.clock() - t0
     peak = graph.nbytes + colors.nbytes + 8 * graph.n_vertices  # scratch
     return ColoringResult(
         colors=colors,

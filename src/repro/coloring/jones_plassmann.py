@@ -14,10 +14,9 @@ one GPU kernel launch per round.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import telemetry
 from repro.coloring.base import ColoringResult, smallest_available_color
 from repro.graphs.csr import CSRGraph
 from repro.util.rng import as_generator
@@ -38,7 +37,7 @@ def jones_plassmann_ldf(
     """
     rng = as_generator(seed)
     n = graph.n_vertices
-    t0 = time.perf_counter()
+    t0 = telemetry.clock()
     colors = np.full(n, -1, dtype=np.int64)
     if n == 0:
         return ColoringResult(colors, "jp-ldf", engine="jp", n_rounds=0)
@@ -77,7 +76,7 @@ def jones_plassmann_ldf(
             colors[v] = smallest_available_color(colors[graph.neighbors(v)])
     else:  # pragma: no cover - max_rounds is a safety valve
         raise RuntimeError("jones_plassmann_ldf failed to converge")
-    elapsed = time.perf_counter() - t0
+    elapsed = telemetry.clock() - t0
     # Memory: CSR + priority + colors + per-round blocked/worklist arrays.
     peak = (
         graph.nbytes + priority.nbytes + colors.nbytes + n + 2 * len(graph.targets)

@@ -14,10 +14,9 @@ the ablation bench.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import telemetry
 from repro.coloring.base import ColoringResult
 from repro.graphs.csr import CSRGraph
 from repro.util.rng import as_generator
@@ -63,7 +62,7 @@ def luby_coloring(
     """Color by repeated MIS extraction (one fresh color per MIS)."""
     rng = as_generator(seed)
     n = graph.n_vertices
-    t0 = time.perf_counter()
+    t0 = telemetry.clock()
     colors = np.full(n, -1, dtype=np.int64)
     if max_colors is None:
         max_colors = n + 1
@@ -76,7 +75,7 @@ def luby_coloring(
         colors[mis] = color
         uncolored &= ~mis
         color += 1
-    elapsed = time.perf_counter() - t0
+    elapsed = telemetry.clock() - t0
     peak = graph.nbytes + colors.nbytes + 3 * n + 2 * len(graph.targets) * 8
     return ColoringResult(
         colors=colors,

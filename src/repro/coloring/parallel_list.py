@@ -39,6 +39,7 @@ import itertools
 
 import numpy as np
 
+from repro import telemetry
 from repro.graphs.csr import CSRGraph
 from repro.parallel.executor import Executor, SerialExecutor
 from repro.util.bits import bitset_from_lists, lowest_set_bit_rows
@@ -84,6 +85,11 @@ def _init_palette_worker(payload: dict) -> None:
         }
         if token is not None:
             _PALETTE_CACHE[token] = state
+        # Enable-only, as for the sweep install: under the serial
+        # backend this runs in the dispatcher, whose state is
+        # authoritative and must not be switched off from a payload.
+        if static.get("telemetry"):
+            telemetry.enable(True)
     else:
         state = _PALETTE_CACHE.get(token)
         if state is None:
@@ -124,13 +130,17 @@ def _pick_strip(task: tuple[int, int]) -> np.ndarray:
     return lowest_set_bit_rows(avail)
 
 
-def teardown_palette_worker() -> None:
+def teardown_palette_worker() -> dict | None:
     """Drop all palette worker state (end of a coloring run).
 
     Unlike the sweep teardown, the token cache goes too: color tokens
-    are per-run, so nothing survives a run by design."""
+    are per-run, so nothing survives a run by design.  Returns this
+    worker's drained telemetry delta (``None`` when telemetry is off or
+    in-process) — the teardown broadcast's return values are the
+    piggyback channel the dispatcher absorbs."""
     _CWORKER.clear()
     _PALETTE_CACHE.clear()
+    return telemetry.drain_worker_snapshot()
 
 
 def _strip_tasks(m: int, executor: Executor) -> list[tuple[int, int]]:
@@ -269,8 +279,16 @@ def parallel_list_color(
         def make_payload(force_full: bool):
             full = force_full or not executor.holds_token(token)
             static = (
-                {"masks": masks, "kernel_backend": kernel_backend}
+                {
+                    "masks": masks,
+                    "kernel_backend": kernel_backend,
+                    "telemetry": telemetry.enabled(),
+                }
                 if full else None
+            )
+            telemetry.count(
+                "color.install.delta" if static is None
+                else "color.install.full"
             )
             payload = {
                 "token": token,
@@ -342,7 +360,10 @@ def parallel_list_color(
             raise RuntimeError("parallel_list_color failed to converge")
     finally:
         if use_pool:
-            executor.finalize(teardown_palette_worker)
+            telemetry.absorb_snapshots(
+                executor.finalize(teardown_palette_worker),
+                prefix=getattr(executor, "telemetry_prefix", "w"),
+            )
 
     info = {
         "n_rounds": rounds,

@@ -13,10 +13,9 @@ classical cleanup adds on top of any base algorithm.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import telemetry
 from repro.coloring.base import ColoringResult, smallest_available_color
 from repro.graphs.csr import CSRGraph
 from repro.util.rng import as_generator
@@ -57,7 +56,7 @@ def iterated_greedy(
     (monotonicity is guaranteed and asserted).
     """
     rng = as_generator(seed)
-    t0 = time.perf_counter()
+    t0 = telemetry.clock()
     colors = initial.colors.copy()
     if (colors < 0).any():
         raise ValueError("initial coloring is incomplete")
@@ -80,7 +79,7 @@ def iterated_greedy(
             raise AssertionError("iterated greedy increased the color count")
         colors = new_colors
         best = new_k
-    elapsed = time.perf_counter() - t0
+    elapsed = telemetry.clock() - t0
     return ColoringResult(
         colors=colors,
         algorithm=f"{initial.algorithm}+ig",

@@ -15,10 +15,9 @@ reproduces both behaviours: rounds are whole-array NumPy operations
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import telemetry
 from repro.coloring.base import ColoringResult, smallest_available_color
 from repro.graphs.csr import CSRGraph
 from repro.util.rng import as_generator
@@ -38,7 +37,7 @@ def speculative_coloring(
     """
     rng = as_generator(seed)
     n = graph.n_vertices
-    t0 = time.perf_counter()
+    t0 = telemetry.clock()
     colors = np.full(n, -1, dtype=np.int64)
     if n == 0:
         return ColoringResult(
@@ -80,7 +79,7 @@ def speculative_coloring(
         worklist = losers
     else:  # pragma: no cover - safety valve
         raise RuntimeError("speculative_coloring failed to converge")
-    elapsed = time.perf_counter() - t0
+    elapsed = telemetry.clock() - t0
     # Memory: CSR + full edge list + priorities + colors + conflict masks.
     peak = (
         graph.nbytes

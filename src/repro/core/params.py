@@ -161,6 +161,17 @@ class PicassoParams:
         it against its own environment (missing runtimes degrade to
         numpy with a stderr note).  An execution knob, so it is
         excluded from checkpoint fingerprints like ``n_workers``.
+    telemetry:
+        Record structured metrics and trace spans for the run
+        (:mod:`repro.telemetry`): dispatcher phase spans, worker-side
+        strip spans, transport byte counters, install/recycle/retry
+        counts, merged into one view on the dispatcher and exposed as
+        ``PicassoResult.telemetry``.  ``None`` (default) defers to the
+        ``REPRO_TELEMETRY`` environment variable (truthy = on); an
+        explicit bool always wins.  Telemetry is **neutral**: runs with
+        it on and off are bit-identical per seed on every backend — it
+        is write-only from the algorithm's point of view.  An execution
+        knob, excluded from checkpoint fingerprints.
     """
 
     palette_fraction: float = 0.125
@@ -187,6 +198,7 @@ class PicassoParams:
     max_retries: int | None = None
     fused: bool | None = None
     kernel_backend: str = "auto"
+    telemetry: bool | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.palette_fraction <= 1.0:
@@ -327,6 +339,20 @@ class PicassoParams:
 
         name = os.environ.get("REPRO_KERNEL_BACKEND", "").strip().lower()
         return name if name and name != "auto" else "numpy"
+
+    def resolved_telemetry(self) -> bool:
+        """Whether this run records telemetry.
+
+        An explicit ``telemetry`` bool wins; otherwise the
+        ``REPRO_TELEMETRY`` environment variable decides (read per
+        call, like :meth:`resolved_fused`), defaulting to off — the
+        disabled path is the zero-cost one.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        from repro.telemetry import env_enabled
+
+        return env_enabled()
 
     def with_(self, **kwargs) -> "PicassoParams":
         """Functional update."""

@@ -13,11 +13,12 @@ The input graph is never stored: a *source* (see
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
+from repro import telemetry
 from repro.coloring.base import ColoringResult
 from repro.coloring.engine import get_engine
 from repro.core.analysis import expected_conflict_edges
@@ -75,9 +76,18 @@ class IterationStats:
 
 @dataclass
 class PicassoResult(ColoringResult):
-    """ColoringResult plus the iteration trace."""
+    """ColoringResult plus the iteration trace.
+
+    ``telemetry`` carries the merged registry snapshot (dispatcher
+    metrics plus every absorbed worker/agent delta) when telemetry was
+    enabled for the run, ``None`` otherwise — ready for the exporters
+    in :mod:`repro.telemetry.export`.  Write-only observability: the
+    snapshot never feeds back into the algorithm, so the coloring is
+    bit-identical with it on or off.
+    """
 
     iterations: list[IterationStats] = field(default_factory=list)
+    telemetry: dict[str, Any] | None = None
 
     @property
     def n_iterations(self) -> int:
@@ -195,8 +205,14 @@ class Picasso:
     def _color_source_with(
         self, source, executor, region_pool=None
     ) -> PicassoResult:
-        t_start = time.perf_counter()
         params = self.params
+        # Telemetry is enable-only here: a run that asks for it turns
+        # the process-wide collector on; a run that does not leaves
+        # whatever the process (CLI exporters, an enclosing run) chose.
+        if params.resolved_telemetry():
+            telemetry.enable(True)
+        run_telemetry = telemetry.enabled()
+        t_start = telemetry.clock()
         # One engine instance for the whole run, from the registry —
         # the pluggable Algorithm 2 seam.  Parallel engines receive the
         # run's persistent executor; payload tokens are channelled, so
@@ -259,11 +275,12 @@ class Picasso:
             list_size = min(raw_list, palette)
 
             # Line 6: random candidate lists from a fresh palette.
-            t0 = time.perf_counter()
-            col_lists, colmasks = assign_color_lists(
-                n, palette, list_size, self.rng
-            )
-            t_assign = time.perf_counter() - t0
+            t0 = telemetry.clock()
+            with telemetry.span("picasso.assign", iteration=it):
+                col_lists, colmasks = assign_color_lists(
+                    n, palette, list_size, self.rng
+                )
+            t_assign = telemetry.clock() - t0
 
             # Line 7: conflict graph (only conflicted edges materialize).
             # The tiled engine consumes the source's block oracle when
@@ -273,7 +290,7 @@ class Picasso:
             # reuse its installed payload and receive only this
             # iteration's delta; the Lemma 2 expectation sizes the
             # shared-memory gather region when that path is on.
-            t0 = time.perf_counter()
+            t0 = telemetry.clock()
             built_on_device: bool | None = None
             edge_block_fn = getattr(active_source, "edge_block", None)
             est_edges = (
@@ -283,104 +300,110 @@ class Picasso:
             )
             active_idx = active if it > 1 else None
             timings: dict[str, float] = {}
-            if self.device is not None:
-                gc, build_stats = build_conflict_csr(
-                    n,
-                    active_source.edge_mask,
-                    colmasks,
-                    self.device,
-                    chunk_size=params.chunk_size,
-                    engine=params.engine,
-                    edge_block_fn=edge_block_fn,
-                    tile_bytes=params.tile_budget_bytes,
-                    executor=executor,
-                    shm=params.shm_gather,
-                    est_conflict_edges=est_edges,
-                    source=source,
-                    active_idx=active_idx,
-                    kernel_backend=kb,
-                )
-                n_conf_edges = build_stats.n_conflict_edges
-                built_on_device = build_stats.built_on_device
-            elif fused:
-                # Fused iterate: the sweep comes back as coloring-round
-                # state — conflicted vertex ids plus their sub-CSR —
-                # with the edge-level degree scan already folded into
-                # the workers' strips.
-                sub_gc, conflicted, n_conf_edges = build_fused_conflict_state(
-                    n,
-                    active_source.edge_mask,
-                    colmasks,
-                    chunk_size=params.chunk_size,
-                    engine=params.engine,
-                    edge_block_fn=edge_block_fn,
-                    tile_bytes=params.tile_budget_bytes,
-                    executor=executor,
-                    shm=params.shm_gather,
-                    est_conflict_edges=est_edges,
-                    source=source,
-                    active_idx=active_idx,
-                    region_pool=region_pool,
-                    timings=timings,
-                    kernel_backend=kb,
-                )
-            else:
-                gc, n_conf_edges = build_conflict_graph(
-                    n,
-                    active_source.edge_mask,
-                    colmasks,
-                    chunk_size=params.chunk_size,
-                    engine=params.engine,
-                    edge_block_fn=edge_block_fn,
-                    tile_bytes=params.tile_budget_bytes,
-                    executor=executor,
-                    shm=params.shm_gather,
-                    est_conflict_edges=est_edges,
-                    source=source,
-                    active_idx=active_idx,
-                    timings=timings,
-                    kernel_backend=kb,
-                )
-            t_build = time.perf_counter() - t0
+            with telemetry.span("picasso.conflict_build", iteration=it):
+                if self.device is not None:
+                    gc, build_stats = build_conflict_csr(
+                        n,
+                        active_source.edge_mask,
+                        colmasks,
+                        self.device,
+                        chunk_size=params.chunk_size,
+                        engine=params.engine,
+                        edge_block_fn=edge_block_fn,
+                        tile_bytes=params.tile_budget_bytes,
+                        executor=executor,
+                        shm=params.shm_gather,
+                        est_conflict_edges=est_edges,
+                        source=source,
+                        active_idx=active_idx,
+                        kernel_backend=kb,
+                    )
+                    n_conf_edges = build_stats.n_conflict_edges
+                    built_on_device = build_stats.built_on_device
+                elif fused:
+                    # Fused iterate: the sweep comes back as
+                    # coloring-round state — conflicted vertex ids plus
+                    # their sub-CSR — with the edge-level degree scan
+                    # already folded into the workers' strips.
+                    sub_gc, conflicted, n_conf_edges = (
+                        build_fused_conflict_state(
+                            n,
+                            active_source.edge_mask,
+                            colmasks,
+                            chunk_size=params.chunk_size,
+                            engine=params.engine,
+                            edge_block_fn=edge_block_fn,
+                            tile_bytes=params.tile_budget_bytes,
+                            executor=executor,
+                            shm=params.shm_gather,
+                            est_conflict_edges=est_edges,
+                            source=source,
+                            active_idx=active_idx,
+                            region_pool=region_pool,
+                            timings=timings,
+                            kernel_backend=kb,
+                        )
+                    )
+                else:
+                    gc, n_conf_edges = build_conflict_graph(
+                        n,
+                        active_source.edge_mask,
+                        colmasks,
+                        chunk_size=params.chunk_size,
+                        engine=params.engine,
+                        edge_block_fn=edge_block_fn,
+                        tile_bytes=params.tile_budget_bytes,
+                        executor=executor,
+                        shm=params.shm_gather,
+                        est_conflict_edges=est_edges,
+                        source=source,
+                        active_idx=active_idx,
+                        timings=timings,
+                        kernel_backend=kb,
+                    )
+            t_build = telemetry.clock() - t0
 
             # Lines 8-9: color unconflicted vertices from their lists,
             # then list-color the conflicted subgraph.
-            t0 = time.perf_counter()
-            local_colors = np.full(n, -1, dtype=np.int64)
-            if fused:
-                # The conflicted set is in hand; its complement is the
-                # same ascending id list the degree scan would produce.
-                umask = np.ones(n, dtype=bool)
-                umask[conflicted] = False
-                unconflicted = np.flatnonzero(umask)
-                graph_nbytes = sub_gc.nbytes + conflicted.nbytes
-            else:
-                t_es = time.perf_counter()
-                degrees = gc.degree()
-                unconflicted = np.nonzero(degrees == 0)[0]
-                conflicted = np.nonzero(degrees > 0)[0]
-                sub_gc = None
-                if len(conflicted):
-                    sub_gc, _ = induced_subgraph(gc, conflicted)
-                timings["edge_sweep_s"] = time.perf_counter() - t_es
-                graph_nbytes = gc.nbytes
-            local_colors[unconflicted] = col_lists[unconflicted, 0]
+            t0 = telemetry.clock()
+            with telemetry.span("picasso.conflict_color", iteration=it):
+                local_colors = np.full(n, -1, dtype=np.int64)
+                if fused:
+                    # The conflicted set is in hand; its complement is
+                    # the same ascending id list the degree scan would
+                    # produce.
+                    umask = np.ones(n, dtype=bool)
+                    umask[conflicted] = False
+                    unconflicted = np.flatnonzero(umask)
+                    graph_nbytes = sub_gc.nbytes + conflicted.nbytes
+                else:
+                    t_es = telemetry.clock()
+                    with telemetry.span("picasso.edge_sweep", iteration=it):
+                        degrees = gc.degree()
+                        unconflicted = np.nonzero(degrees == 0)[0]
+                        conflicted = np.nonzero(degrees > 0)[0]
+                        sub_gc = None
+                        if len(conflicted):
+                            sub_gc, _ = induced_subgraph(gc, conflicted)
+                    timings["edge_sweep_s"] = telemetry.clock() - t_es
+                    graph_nbytes = gc.nbytes
+                local_colors[unconflicted] = col_lists[unconflicted, 0]
 
-            color_rounds = 0
-            color_peak = 0
-            if len(conflicted):
-                sub_lists = col_lists[conflicted]
-                outcome = color_engine.color(
-                    sub_gc, sub_lists, self.rng,
-                    executor=executor, device=self.device,
-                )
-                color_rounds = outcome.n_rounds
-                color_peak = outcome.peak_bytes
-                local_colors[conflicted] = outcome.colors
-                vu_local = conflicted[outcome.uncolored]
-            else:
-                vu_local = np.empty(0, dtype=np.int64)
-            t_color = time.perf_counter() - t0
+                color_rounds = 0
+                color_peak = 0
+                if len(conflicted):
+                    sub_lists = col_lists[conflicted]
+                    outcome = color_engine.color(
+                        sub_gc, sub_lists, self.rng,
+                        executor=executor, device=self.device,
+                    )
+                    color_rounds = outcome.n_rounds
+                    color_peak = outcome.peak_bytes
+                    local_colors[conflicted] = outcome.colors
+                    vu_local = conflicted[outcome.uncolored]
+                else:
+                    vu_local = np.empty(0, dtype=np.int64)
+            t_color = telemetry.clock() - t0
 
             # Commit global colors with the per-iteration offset.
             colored_local = np.nonzero(local_colors >= 0)[0]
@@ -464,7 +487,7 @@ class Picasso:
                     f"{params.max_iterations} iterations"
                 )
 
-        elapsed = time.perf_counter() - t_start
+        elapsed = telemetry.clock() - t_start
         return PicassoResult(
             colors=colors,
             algorithm="picasso",
@@ -477,6 +500,7 @@ class Picasso:
             engine=color_engine.name,
             n_rounds=len(iterations),
             iterations=iterations,
+            telemetry=telemetry.snapshot() if run_telemetry else None,
         )
 
 

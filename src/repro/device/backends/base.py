@@ -37,6 +37,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import telemetry
+
 if TYPE_CHECKING:
     from repro.device.tiles import EdgeBlockFn, TileScratch
 
@@ -117,6 +119,7 @@ class KernelBackend(ABC):
         :func:`repro.device.tiles.conflict_hits_block`)."""
         from repro.device import tiles
 
+        telemetry.count("device.dispatch", backend=self.name)
         if dense_edge_fraction is None:
             dense_edge_fraction = tiles.DENSE_EDGE_FRACTION
         return tiles.conflict_hits_block(
@@ -132,6 +135,7 @@ class KernelBackend(ABC):
         :func:`repro.device.tiles.block_hits`)."""
         from repro.device import tiles
 
+        telemetry.count("device.dispatch", backend=self.name)
         return tiles.block_hits(block_fn, r0, r1, c0, c1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -45,7 +45,9 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable, Iterator, Sequence
+from typing import Any
 
+from repro import telemetry
 from repro.distributed.transport import (
     BROADCAST_TIMEOUT_S,
     RESULT_TIMEOUT_S,
@@ -85,6 +87,9 @@ class ClusterExecutor(Executor):
     """
 
     supports_payload_cache = True
+    #: Cluster shards absorb telemetry deltas under ``s0``, ``s1``, ...
+    #: (a hierarchical agent's inner workers then nest as ``s1:w0``).
+    telemetry_prefix = "s"
 
     def __init__(
         self,
@@ -183,7 +188,9 @@ class ClusterExecutor(Executor):
 
     # -- broadcast / stream ---------------------------------------------
 
-    def _broadcast(self, fn: Callable, payload: tuple) -> None:
+    def _broadcast(
+        self, fn: Callable, payload: tuple, op: str = "install"
+    ) -> list[Any]:
         conns = self._ensure_connected()
         try:
             # Send to every shard first, then collect the acks: agents
@@ -192,7 +199,7 @@ class ClusterExecutor(Executor):
             # instead of serializing on each ack.
             for c in conns:
                 c.send(
-                    {"op": "install", "fn": fn, "payload": payload},
+                    {"op": op, "fn": fn, "payload": payload},
                     self.broadcast_timeout_s,
                 )
             replies = [c.recv(self.broadcast_timeout_s) for c in conns]
@@ -213,6 +220,9 @@ class ClusterExecutor(Executor):
             # included, which the dispatcher retries in full).
             self._recycle()
             raise errors[0]
+        # Shard-order broadcast returns — the telemetry piggyback
+        # channel (each agent's drained delta rides its finalize ack).
+        return [r.get("result") for r in replies]
 
     def _stream(self, n_tasks: int) -> Iterator:
         conns = self._conns
@@ -277,6 +287,7 @@ class ClusterExecutor(Executor):
         no survivor remains the sweep is unrecoverable here and
         surfaces the classic bounded error for the supervisor."""
         conns = self._conns
+        telemetry.count("cluster.redistribute")
         queue = [first_dead]
         while queue:
             c = queue.pop()
@@ -417,16 +428,17 @@ class ClusterExecutor(Executor):
             return self._stream_redistributing(tasks, task_fn)
         return self._stream(len(tasks))
 
-    def finalize(self, fn: Callable, payload: tuple = ()) -> None:
+    def finalize(self, fn: Callable, payload: tuple = ()) -> list[Any] | None:
         if self._conns is not None:
             try:
-                self._broadcast(fn, payload)
+                return self._broadcast(fn, payload, op="finalize")
             except Exception:
                 # Finalize runs inside dispatchers' ``finally`` blocks:
                 # a cleanup failure must not mask the sweep's own
                 # exception.  _broadcast already recycled the
                 # connections, so stale worker state is unreachable.
                 pass
+        return None
 
     def close(self) -> None:
         """Close the connections (agent processes stay up — they are

@@ -48,6 +48,7 @@ import pickle
 import socket
 import struct
 
+from repro import telemetry
 from repro.parallel.executor import BROADCAST_TIMEOUT_S, RESULT_TIMEOUT_S
 
 __all__ = [
@@ -153,9 +154,11 @@ def send_msg(sock: socket.socket, obj, timeout: float | None = None) -> None:
     sock.settimeout(timeout if timeout is not None else BROADCAST_TIMEOUT_S)
     small = bytearray(_HEADER.pack(MAGIC, len(buffers), len(payload)))
     small += payload
+    frame_bytes = len(small)
     try:
         for buf in buffers:
             raw = buf.raw()
+            frame_bytes += _BUFLEN.size + raw.nbytes
             small += _BUFLEN.pack(raw.nbytes)
             if raw.nbytes >= _COALESCE_BYTES:
                 sock.sendall(small)
@@ -165,6 +168,8 @@ def send_msg(sock: socket.socket, obj, timeout: float | None = None) -> None:
                 small += raw
         if small:
             sock.sendall(small)
+        telemetry.count("transport.frames_sent")
+        telemetry.count("transport.bytes_sent", float(frame_bytes))
     except socket.timeout:
         raise TransportError(
             "socket send timed out — the peer stopped draining its socket"
@@ -193,10 +198,14 @@ def recv_msg(sock: socket.socket, timeout: float | None = None):
             "or the stream desynced"
         )
     payload = _recv_exact(sock, pickle_len)
+    frame_bytes = _HEADER.size + pickle_len
     bufs = []
     for _ in range(n_buffers):
         (blen,) = _BUFLEN.unpack(_recv_exact(sock, _BUFLEN.size))
         bufs.append(_recv_exact(sock, blen))
+        frame_bytes += _BUFLEN.size + blen
+    telemetry.count("transport.frames_recv")
+    telemetry.count("transport.bytes_recv", float(frame_bytes))
     return pickle.loads(bytes(payload), buffers=bufs)
 
 

@@ -55,6 +55,7 @@ import sys
 import traceback
 import uuid
 
+from repro import telemetry
 from repro.distributed.transport import (
     RESULT_TIMEOUT_S,
     Connection,
@@ -133,6 +134,10 @@ class WorkerAgent:
         #: reconnects and sees a different incarnation knows every
         #: worker-side payload cache is gone.
         self.incarnation = uuid.uuid4().hex
+        # The agent process is a telemetry "worker": its deltas (its
+        # own spans plus the transport counters of the agent side)
+        # drain into the finalize reply, never into a local exporter.
+        telemetry.mark_worker_process()
         self._inner = None
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -161,6 +166,7 @@ class WorkerAgent:
         op = msg.get("op")
         inner = self._inner_pool()
         if op == "install" or op == "finalize":
+            result = None
             try:
                 if inner is not None:
                     # Fan the install out to every local worker.  A
@@ -170,18 +176,27 @@ class WorkerAgent:
                     # full-install retry fires, exactly as for a
                     # restarted flat agent.
                     if op == "finalize":
-                        inner.finalize(msg["fn"], msg.get("payload", ()))
+                        # Finalize doubles as the telemetry piggyback:
+                        # the inner workers' drained deltas fold into
+                        # this agent's own (transport counters, agent
+                        # spans) and ride the ack back to the
+                        # dispatcher.
+                        result = telemetry.combine_agent_snapshot(
+                            inner.finalize(msg["fn"], msg.get("payload", ()))
+                        )
                     else:
                         inner.broadcast(msg["fn"], msg.get("payload", ()))
                 else:
-                    msg["fn"](*msg.get("payload", ()))
+                    ret = msg["fn"](*msg.get("payload", ()))
+                    if op == "finalize":
+                        result = ret
             except Exception as exc:
                 # Exception, not BaseException: KeyboardInterrupt /
                 # SystemExit must stop a standalone agent, not be
                 # pickled into an error reply.
                 conn.send(_safe_error(exc))
                 return
-            conn.send({"ok": True})
+            conn.send({"ok": True, "result": result})
         elif op == "imap":
             fn = msg["fn"]
             if inner is not None:

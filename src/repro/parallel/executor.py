@@ -47,6 +47,8 @@ from collections.abc import Callable, Hashable, Iterator, Sequence
 from contextlib import contextmanager
 from typing import Any
 
+from repro import telemetry
+
 __all__ = [
     "Executor",
     "SerialExecutor",
@@ -146,13 +148,16 @@ def _bootstrap_pool_worker(
     _POOL_LOCAL["rank"] = rank
     _POOL_LOCAL["barrier"] = barrier
     _POOL_LOCAL["pinned"] = pin_current_worker(rank) if pin else False
+    # This process is a pool worker: its telemetry is a delta shipped
+    # home on the finalize broadcast, not the dispatcher's merged view.
+    telemetry.mark_worker_process()
 
 
-def _broadcast_task(arg: tuple[Callable[..., Any], tuple[Any, ...]]) -> None:
+def _broadcast_task(arg: tuple[Callable[..., Any], tuple[Any, ...]]) -> Any:
     fn, payload = arg
     barrier = _POOL_LOCAL.get("barrier")
     try:
-        fn(*payload)
+        ret = fn(*payload)
     except BaseException:
         # Release the peers *now*: without the abort, the n-1 healthy
         # workers would sit at the barrier for the full timeout before
@@ -162,6 +167,9 @@ def _broadcast_task(arg: tuple[Callable[..., Any], tuple[Any, ...]]) -> None:
         raise
     if barrier is not None:
         barrier.wait(BROADCAST_TIMEOUT_S)
+    # The broadcast return value is the piggyback channel worker
+    # telemetry deltas ride home on (see Executor.finalize).
+    return ret
 
 
 def token_channel(token: Hashable) -> Hashable:
@@ -206,6 +214,12 @@ class Executor(ABC):
     #: cross a pipe at all.  The gather seam falls back to the plain
     #: result stream when this is False.
     supports_shm_gather: bool = False
+
+    #: Slot-prefix under which this backend's finalize-channel
+    #: telemetry snapshots merge into the dispatcher view (``w`` for
+    #: pool workers, ``s`` for cluster shards — see
+    #: :func:`repro.telemetry.absorb_snapshots`).
+    telemetry_prefix: str = "w"
 
     def __init__(self) -> None:
         #: Installed payload token per channel (see :func:`token_channel`);
@@ -298,15 +312,17 @@ class Executor(ABC):
 
     def finalize(
         self, fn: Callable[..., Any], payload: tuple[Any, ...] = ()
-    ) -> None:
+    ) -> list[Any] | None:
         """Run a cleanup function once per worker after a sweep.
 
         The dispatcher calls this in a ``finally`` to drop per-sweep
         worker state (colmasks, scratch, derived oracles) so large
         arrays do not stay alive between builds.  In-process for the
         serial backend; a broadcast for pools (no-op when no pool is
-        live)."""
-        fn(*payload)
+        live).  Returns the per-worker return values in slot order
+        (``None`` when nothing ran) — the piggyback channel worker
+        telemetry deltas ride home on."""
+        return [fn(*payload)]
 
     def close(self) -> None:
         """Release backend resources (worker processes).  Idempotent."""
@@ -439,7 +455,7 @@ class PoolExecutor(Executor):
 
     def _broadcast(
         self, fn: Callable[..., Any], payload: tuple[Any, ...]
-    ) -> None:
+    ) -> list[Any]:
         pool = self._ensure_pool()
         try:
             # chunksize=1 so the n_workers install tasks go to n_workers
@@ -452,7 +468,7 @@ class PoolExecutor(Executor):
             result = pool.map_async(
                 _broadcast_task, [(fn, payload)] * self.n_workers, chunksize=1
             )
-            result.get(BROADCAST_TIMEOUT_S + 30.0)
+            return result.get(BROADCAST_TIMEOUT_S + 30.0)
         except mp.TimeoutError:
             self._recycle()
             raise WorkerFailure(
@@ -497,6 +513,7 @@ class PoolExecutor(Executor):
 
     def _recycle(self) -> None:
         if self._pool is not None:
+            telemetry.count("pool.recycle")
             self._pool.terminate()
             # reprolint: disable=bounded-blocking -- mp.Pool.join() takes
             # no timeout; terminate() above SIGTERMs the workers first.
@@ -574,16 +591,17 @@ class PoolExecutor(Executor):
 
     def finalize(
         self, fn: Callable[..., Any], payload: tuple[Any, ...] = ()
-    ) -> None:
+    ) -> list[Any] | None:
         if self._pool is not None:
             try:
-                self._broadcast(fn, payload)
+                return self._broadcast(fn, payload)
             except Exception:
                 # Finalize runs inside dispatchers' ``finally`` blocks:
                 # a cleanup failure must not mask the sweep's own
                 # exception.  _broadcast already recycled the pool, so
                 # the stale worker state is gone with the processes.
                 pass
+        return None
 
     def close(self) -> None:
         if self._pool is not None:

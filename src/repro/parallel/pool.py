@@ -49,13 +49,13 @@ from __future__ import annotations
 
 import itertools
 import threading
-import time
 import weakref
 from collections.abc import Iterator
 from contextlib import contextmanager
 
 import numpy as np
 
+from repro import telemetry
 from repro.device.tiles import (
     DEFAULT_TILE_BYTES,
     EdgeBlockFn,
@@ -94,6 +94,7 @@ __all__ = [
     "PayloadNotInstalled",
     "TASKS_PER_WORKER",
     "strip_shares",
+    "finalize_sweep",
 ]
 
 
@@ -190,9 +191,14 @@ def sweep_payload(
         # (see :func:`repro.parallel.executor.token_channel`): sweep
         # and coloring payloads coexist on one persistent pool without
         # evicting each other's delta path.
+        # Telemetry rides the token too: a worker that cached a static
+        # payload without the recording flag must take a full install
+        # when recording turns on (and vice versa), or it would keep
+        # running under the stale flag.  Neutral either way — the flag
+        # never touches the numerics.
         token = (
             "sweep", payload_token_for(source), engine, chunk_size,
-            kernel_backend,
+            kernel_backend, telemetry.enabled(),
         )
         static = {
             "engine": engine,
@@ -201,9 +207,13 @@ def sweep_payload(
             "edge_mask_fn": None,
             "edge_block_fn": None,
             "kernel_backend": kernel_backend,
+            "telemetry": telemetry.enabled(),
         }
         if executor.holds_token(token):
             static = None
+        telemetry.count(
+            "pool.install.delta" if static is None else "pool.install.full"
+        )
         return {"token": token, "static": static, "delta": delta}, token
     static = {
         "engine": engine,
@@ -212,7 +222,9 @@ def sweep_payload(
         "edge_mask_fn": edge_mask_fn if source is None else None,
         "edge_block_fn": edge_block_fn if source is None else None,
         "kernel_backend": kernel_backend,
+        "telemetry": telemetry.enabled(),
     }
+    telemetry.count("pool.install.full")
     return {"token": None, "static": static, "delta": delta}, None
 
 
@@ -306,6 +318,12 @@ def init_sweep_worker(payload: dict) -> None:
     teardown_sweep_worker()
     _WORKER.update(static)
     _WORKER.update(payload["delta"])
+    # The recording flag ships with the static payload so pool workers
+    # and cluster agents mirror the dispatcher's telemetry state.  Only
+    # ever switched on here: under the serial executor this runs in the
+    # dispatcher process, whose state is already authoritative.
+    if _WORKER.get("telemetry"):
+        telemetry.enable(True)
     source = _WORKER.get("source")
     if source is not None:
         idx = _WORKER.get("active_idx")
@@ -321,29 +339,50 @@ def init_sweep_worker(payload: dict) -> None:
         _WORKER["scratch"] = TileScratch(_WORKER["tile"])
 
 
-def teardown_sweep_worker() -> None:
+def teardown_sweep_worker() -> dict | None:
     """Drop per-sweep worker state (the dispatcher's ``finally`` duty).
 
     Clears the colmasks, the derived oracle functions and the tile
     scratch, and closes cached shared-memory attachments, so none of it
     outlives the sweep.  The token-cached static payload is kept — that
-    persistence is what lets the next install ship only a delta."""
+    persistence is what lets the next install ship only a delta.
+
+    Returns this worker's accumulated telemetry delta (``None`` when
+    telemetry is off or in-process): the teardown broadcast runs after
+    every sweep on the channel the executor already has, so worker
+    metrics piggyback home without an extra round trip — see
+    :func:`finalize_sweep`."""
     close_worker_attachments()
     _WORKER.clear()
+    return telemetry.drain_worker_snapshot()
+
+
+def finalize_sweep(executor: Executor) -> None:
+    """Tear down per-sweep worker state across an executor and absorb
+    the telemetry deltas the teardown returns, merged under the
+    backend's slot prefix (``w<k>`` pool workers, ``s<k>`` shards) in
+    deterministic slot order."""
+    telemetry.absorb_snapshots(
+        executor.finalize(teardown_sweep_worker),
+        prefix=getattr(executor, "telemetry_prefix", "w"),
+    )
 
 
 def _run_tile_strip(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
     """Worker task: fused conflict kernel over one strip of tiles."""
     fault_point("task")
     start, stop = task
-    return conflict_hits_strip(
-        _WORKER["colmasks"],
-        _WORKER["grid"][start:stop],
-        _WORKER["edge_mask_fn"],
-        _WORKER["edge_block_fn"],
-        scratch=_WORKER["scratch"],
-        backend=_WORKER.get("backend"),
-    )
+    with telemetry.span("pool.strip", engine="tiled", start=start, stop=stop):
+        u, v = conflict_hits_strip(
+            _WORKER["colmasks"],
+            _WORKER["grid"][start:stop],
+            _WORKER["edge_mask_fn"],
+            _WORKER["edge_block_fn"],
+            scratch=_WORKER["scratch"],
+            backend=_WORKER.get("backend"),
+        )
+    telemetry.observe("pool.strip_hits", float(len(u)))
+    return u, v
 
 
 def _run_pair_range(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
@@ -357,14 +396,19 @@ def _run_pair_range(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
     edge_mask_fn = _WORKER["edge_mask_fn"]
     colmasks = _WORKER["colmasks"]
     us, vs = [], []
-    for s in range(start, stop, chunk):
-        e = min(s + chunk, stop)
-        k = np.arange(s, e, dtype=np.int64)
-        i, j = pair_index_to_ij(k, n)
-        mask = conflict_pair_kernel(edge_mask_fn, colmasks, i, j).astype(bool)
-        if mask.any():
-            us.append(i[mask])
-            vs.append(j[mask])
+    with telemetry.span("pool.strip", engine="pairs", start=start, stop=stop):
+        for s in range(start, stop, chunk):
+            e = min(s + chunk, stop)
+            k = np.arange(s, e, dtype=np.int64)
+            i, j = pair_index_to_ij(k, n)
+            mask = conflict_pair_kernel(
+                edge_mask_fn, colmasks, i, j
+            ).astype(bool)
+            if mask.any():
+                us.append(i[mask])
+                vs.append(j[mask])
+    n_hits = sum(len(u) for u in us)
+    telemetry.observe("pool.strip_hits", float(n_hits))
     if not us:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
@@ -555,7 +599,7 @@ def conflict_sweep_chunks(
     try:
         yield from imap_sweep(executor, task_fn, tasks, payload_args)
     finally:
-        executor.finalize(teardown_sweep_worker)
+        finalize_sweep(executor)
 
 
 @contextmanager
@@ -658,18 +702,20 @@ def gathered_conflict_csr(
         kernel_backend=kernel_backend,
     ) as hit_stream:
         try:
-            t0 = time.perf_counter()
-            chunks = [(u, v) for u, v in hit_stream if len(u)]
-            t1 = time.perf_counter()
+            t0 = telemetry.clock()
+            with telemetry.span("sweep.gather", engine=engine):
+                chunks = [(u, v) for u, v in hit_stream if len(u)]
+            t1 = telemetry.clock()
             m = sum(len(u) for u, _ in chunks)
-            graph = csr_from_coo_chunks(chunks, n)
+            with telemetry.span("sweep.assemble", engine=engine):
+                graph = csr_from_coo_chunks(chunks, n)
             if timings is not None:
                 timings["sweep_s"] = (
                     timings.get("sweep_s", 0.0) + (t1 - t0)
                 )
                 timings["assemble_s"] = (
                     timings.get("assemble_s", 0.0)
-                    + (time.perf_counter() - t1)
+                    + (telemetry.clock() - t1)
                 )
         finally:
             chunks = None
@@ -736,7 +782,7 @@ def fused_conflict_csr(
     """
     if engine not in ("tiled", "pairs"):
         raise ValueError(f"unknown engine {engine!r}")
-    t0 = time.perf_counter()
+    t0 = telemetry.clock()
     mask = np.zeros(n, dtype=bool)
     chunks: list[tuple[np.ndarray, np.ndarray]] = []
     m = 0
@@ -751,16 +797,18 @@ def fused_conflict_csr(
             kernel_backend=kernel_backend,
         )
         try:
-            for u, v in stream:
-                if len(u):
-                    chunks.append((u, v))
-                    mask[u] = True
-                    mask[v] = True
-                    m += len(u)
+            with telemetry.span("sweep.gather", engine=engine):
+                for u, v in stream:
+                    if len(u):
+                        chunks.append((u, v))
+                        mask[u] = True
+                        mask[v] = True
+                        m += len(u)
         finally:
             stream.close()
-        t1 = time.perf_counter()
-        sub_gc, conflicted = _fused_sub_csr(n, mask, chunks)
+        t1 = telemetry.clock()
+        with telemetry.span("sweep.assemble", engine=engine):
+            sub_gc, conflicted = _fused_sub_csr(n, mask, chunks)
     elif shm and executor.supports_shm_gather:
         with shm_conflict_gather(
             n, edge_mask_fn, colmasks, chunk_size, engine, edge_block_fn,
@@ -770,15 +818,17 @@ def fused_conflict_csr(
             fused=True, region_pool=region_pool,
             kernel_backend=kernel_backend,
         ) as gather:
-            for verts in gather.strip_verts:
-                if len(verts):
-                    mask[verts] = True
-            chunks = [(u, v) for u, v in gather.chunks if len(u)]
+            with telemetry.span("sweep.gather", engine=engine):
+                for verts in gather.strip_verts:
+                    if len(verts):
+                        mask[verts] = True
+                chunks = [(u, v) for u, v in gather.chunks if len(u)]
             m = gather.n_edges
-            t1 = time.perf_counter()
+            t1 = telemetry.clock()
             # Assemble inside the context: the renumbered chunks are
             # fresh arrays, so nothing pins the shared region after it.
-            sub_gc, conflicted = _fused_sub_csr(n, mask, chunks)
+            with telemetry.span("sweep.assemble", engine=engine):
+                sub_gc, conflicted = _fused_sub_csr(n, mask, chunks)
     else:
         if engine == "tiled" and tile_bytes is not None:
             tile = tile_edge(colmasks.shape[1], tile_bytes, n=n)
@@ -797,22 +847,24 @@ def fused_conflict_csr(
             kernel_backend=kernel_backend,
         )
         try:
-            for u, v, verts in imap_sweep(
-                executor, task_fn, tasks, payload_args
-            ):
-                if len(verts):
-                    mask[verts] = True
-                if len(u):
-                    chunks.append((u, v))
-                    m += len(u)
+            with telemetry.span("sweep.gather", engine=engine):
+                for u, v, verts in imap_sweep(
+                    executor, task_fn, tasks, payload_args
+                ):
+                    if len(verts):
+                        mask[verts] = True
+                    if len(u):
+                        chunks.append((u, v))
+                        m += len(u)
         finally:
-            executor.finalize(teardown_sweep_worker)
-        t1 = time.perf_counter()
-        sub_gc, conflicted = _fused_sub_csr(n, mask, chunks)
+            finalize_sweep(executor)
+        t1 = telemetry.clock()
+        with telemetry.span("sweep.assemble", engine=engine):
+            sub_gc, conflicted = _fused_sub_csr(n, mask, chunks)
     if timings is not None:
         timings["sweep_s"] = timings.get("sweep_s", 0.0) + (t1 - t0)
         timings["assemble_s"] = (
-            timings.get("assemble_s", 0.0) + (time.perf_counter() - t1)
+            timings.get("assemble_s", 0.0) + (telemetry.clock() - t1)
         )
     return sub_gc, conflicted, m
 
@@ -845,7 +897,7 @@ def block_sweep_chunks(
             payload=(payload,),
         )
     finally:
-        executor.finalize(teardown_sweep_worker)
+        finalize_sweep(executor)
 
 
 def parallel_conflict_graph(

@@ -39,6 +39,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro import telemetry
 from repro.util.chunking import num_pairs
 
 __all__ = [
@@ -185,11 +186,13 @@ class ShmRegionPool:
         self._next = (k + 1) % len(self._slots)
         region = self._slots[k]
         if region is not None and region.capacity >= capacity:
+            telemetry.count("shm.region.reuse")
             return region
         if region is not None:
             region.close()
             region.unlink()
         region = ShmCooRegion.create(capacity)
+        telemetry.count("shm.region.create")
         self._slots[k] = region
         return region
 
@@ -444,6 +447,7 @@ def shm_conflict_gather(
         if region_cb is not None:
             region_cb(SLOT_BYTES * capacity)
         region = ShmCooRegion.create(capacity)
+        telemetry.count("shm.region.create")
         regions.append(region)
         return region
 
@@ -481,6 +485,7 @@ def shm_conflict_gather(
         ]
         if failed:
             result.n_retries = len(failed)
+            telemetry.count("shm.grow_retry", float(len(failed)))
             needed = np.array([-counts[k] for k in failed], dtype=np.int64)
             retry_offsets = np.zeros(len(failed) + 1, dtype=np.int64)
             np.cumsum(needed, out=retry_offsets[1:])
@@ -514,6 +519,7 @@ def shm_conflict_gather(
         result.nbytes = sum(r.nbytes for r in regions)
         if region_pool is not None:
             result.nbytes += region.nbytes
+        telemetry.count("shm.bytes_reserved", float(result.nbytes))
         result.n_zero_strips = sum(1 for c in counts if c == 0)
         result.n_edges = int(sum(counts))
         result.chunks = [
@@ -527,7 +533,7 @@ def shm_conflict_gather(
         # views, then release the segments.  The chunk list is cleared
         # *in place*: consumers were handed this exact list object, and
         # a rebind would leave their reference still pinning the views.
-        executor.finalize(_pool.teardown_sweep_worker)
+        _pool.finalize_sweep(executor)
         result.chunks.clear()
         result.strip_verts.clear()
         for r in regions:

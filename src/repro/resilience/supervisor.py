@@ -47,6 +47,7 @@ import time
 from collections.abc import Callable, Hashable, Iterator, Sequence
 from typing import Any
 
+from repro import telemetry
 from repro.distributed.transport import TransportError
 from repro.parallel.executor import (
     Executor,
@@ -187,17 +188,23 @@ class ResilientExecutor(Executor):
             # correct, and the real submit path retries properly.
             return [1] * self._inner.n_workers
 
+    @property
+    def telemetry_prefix(self) -> str:  # type: ignore[override]
+        # Absorbed worker deltas keep the slot naming of whichever
+        # backend is current ("s" for a cluster, "w" for a pool).
+        return getattr(self._inner, "telemetry_prefix", "w")
+
     def finalize(
         self, fn: Callable[..., Any], payload: tuple[Any, ...] = ()
-    ) -> None:
+    ) -> list[Any] | None:
         try:
-            self._inner.finalize(fn, payload)
+            return self._inner.finalize(fn, payload)
         except RECOVERABLE:
             # Cleanup on a dying backend: the state it would have
             # cleared dies with the workers, and finalize runs inside
             # callers' ``finally`` blocks where a secondary raise would
             # mask the real error.
-            pass
+            return None
 
     def close(self) -> None:
         self._inner.close()
@@ -225,11 +232,13 @@ class ResilientExecutor(Executor):
         if state.attempt > self.max_retries:
             if not self._advance():
                 raise exc
+            telemetry.count("resilience.failover")
             self.events.append(
                 ("failover", repr(self._inner), str(exc))
             )
             state.attempt = 0
             return
+        telemetry.count("resilience.retry")
         self.events.append(("retry", repr(self._inner), str(exc)))
         delay = min(
             BACKOFF_CAP_S, self.backoff_base_s * (2 ** (state.attempt - 1))

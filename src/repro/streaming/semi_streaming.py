@@ -15,10 +15,9 @@ never the stream itself.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import telemetry
 from repro.coloring.base import ColoringResult
 from repro.coloring.engine import get_engine
 from repro.core.palette import assign_color_lists
@@ -81,7 +80,7 @@ def semi_streaming_color(
 def _semi_streaming_color(stream, params, rng, color_engine, executor):
     """The pass loop, against an already-resolved executor."""
     n = stream.n
-    t0 = time.perf_counter()
+    t0 = telemetry.clock()
     colors = np.full(n, -1, dtype=np.int64)
     active = np.ones(n, dtype=bool)
     base_color = 0
@@ -151,7 +150,7 @@ def _semi_streaming_color(stream, params, rng, color_engine, executor):
     return ColoringResult(
         colors=colors,
         algorithm="picasso-semistream",
-        elapsed_s=time.perf_counter() - t0,
+        elapsed_s=telemetry.clock() - t0,
         engine=color_engine.name,
         n_rounds=passes,
         stats={"passes": passes, "max_retained_edges": max_retained},

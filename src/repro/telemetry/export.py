@@ -1,0 +1,153 @@
+"""Telemetry exporters: JSON-lines event trace and Prometheus text.
+
+Both exporters render a registry *snapshot* (the merged dispatcher
+view, or any shipped worker delta), so they can run after the
+executors are gone — the CLI calls them once per command, the bench
+script once per probe run.
+
+**JSON-lines trace** (``--trace-json``): one JSON object per line.
+Span lines carry ``{"type": "span", "name", "proc", "id", "parent",
+"t0", "dur_s", "attrs"}`` where ``proc`` is ``"dispatcher"`` for the
+driving process and a slot path (``"w0"``, ``"s1"``, ``"s1:w0"``) for
+pool workers / cluster agents; ``parent`` links to another span's
+``id`` within the same ``proc``.  Counter / gauge / histogram summary
+lines follow the spans, so one file is the complete merged view.
+
+**Prometheus text** (``--metrics-out``): the classic exposition
+format — ``# TYPE`` headers plus ``repro_<name>{label="v"} value``
+sample lines, series names derived from the dotted metric names by
+replacing non-alphanumerics with underscores.  Span events are
+summarized as per-name duration histograms (count/sum) rather than
+emitted individually.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from typing import Any
+
+__all__ = ["write_trace_jsonl", "write_prometheus", "trace_lines", "prometheus_lines"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """``name{k=v,...}`` series key back into name + label dict."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+def _prom_series(name: str, labels: dict[str, str]) -> str:
+    base = "repro_" + _NAME_RE.sub("_", name)
+    if not labels:
+        return base
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{base}{{{inner}}}"
+
+
+def trace_lines(snapshot: dict[str, Any]) -> list[str]:
+    """The JSON-lines trace of a snapshot, spans first."""
+    lines = []
+    for ev in snapshot.get("events", ()):
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": ev["name"],
+                    "proc": ev.get("proc") or "dispatcher",
+                    "id": ev["id"],
+                    "parent": ev.get("parent"),
+                    "t0": ev["t0"],
+                    "dur_s": ev["dur_s"],
+                    "attrs": ev.get("attrs", {}),
+                },
+                sort_keys=True,
+            )
+        )
+    for kind in ("counters", "gauges"):
+        for key in sorted(snapshot.get(kind, {})):
+            name, labels = _split_key(key)
+            lines.append(
+                json.dumps(
+                    {
+                        "type": kind[:-1],
+                        "name": name,
+                        "labels": labels,
+                        "value": snapshot[kind][key],
+                    },
+                    sort_keys=True,
+                )
+            )
+    for key in sorted(snapshot.get("hists", {})):
+        name, labels = _split_key(key)
+        lines.append(
+            json.dumps(
+                {"type": "histogram", "name": name, "labels": labels,
+                 **snapshot["hists"][key]},
+                sort_keys=True,
+            )
+        )
+    return lines
+
+
+def write_trace_jsonl(path: str | pathlib.Path, snapshot: dict[str, Any]) -> None:
+    """Write the merged JSON-lines event trace of a snapshot."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("\n".join(trace_lines(snapshot)) + "\n")
+
+
+def prometheus_lines(snapshot: dict[str, Any]) -> list[str]:
+    """Prometheus exposition lines for a snapshot."""
+    lines: list[str] = []
+
+    def emit(kind: str, series: dict[str, float], prom_type: str) -> None:
+        seen_types: set[str] = set()
+        for key in sorted(series):
+            name, labels = _split_key(key)
+            base = "repro_" + _NAME_RE.sub("_", name)
+            if base not in seen_types:
+                seen_types.add(base)
+                lines.append(f"# TYPE {base} {prom_type}")
+            lines.append(f"{_prom_series(name, labels)} {series[key]:g}")
+
+    emit("counters", snapshot.get("counters", {}), "counter")
+    emit("gauges", snapshot.get("gauges", {}), "gauge")
+    for key in sorted(snapshot.get("hists", {})):
+        name, labels = _split_key(key)
+        base = "repro_" + _NAME_RE.sub("_", name)
+        agg = snapshot["hists"][key]
+        lines.append(f"# TYPE {base} summary")
+        for stat in ("count", "sum", "min", "max"):
+            lines.append(
+                f"{_prom_series(name + '_' + stat, labels)} {agg[stat]:g}"
+            )
+    # Span durations as per-name summaries: the trace file carries the
+    # individual events; the snapshot format carries the aggregate.
+    spans: dict[str, dict[str, float]] = {}
+    for ev in snapshot.get("events", ()):
+        agg = spans.setdefault(ev["name"], {"count": 0, "sum": 0.0})
+        agg["count"] += 1
+        agg["sum"] += ev["dur_s"]
+    for name in sorted(spans):
+        base = "repro_span_" + _NAME_RE.sub("_", name)
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"{base}_count {spans[name]['count']:g}")
+        lines.append(f"{base}_sum {spans[name]['sum']:g}")
+    return lines
+
+
+def write_prometheus(path: str | pathlib.Path, snapshot: dict[str, Any]) -> None:
+    """Write the Prometheus-style text snapshot."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("\n".join(prometheus_lines(snapshot)) + "\n")

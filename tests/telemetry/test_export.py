@@ -1,0 +1,126 @@
+"""Telemetry exporters: JSON-lines trace and Prometheus text format.
+
+Both exporters consume the same snapshot dict; the trace preserves
+individual span events (with proc/parent for cross-process traces)
+while the Prometheus view aggregates spans into per-name summaries.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.export import prometheus_lines, trace_lines
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    telemetry.reset()
+    telemetry.enable(False)
+    yield
+    telemetry.reset()
+    telemetry.enable(False)
+
+
+def _sample_snapshot() -> dict:
+    telemetry.enable(True)
+    telemetry.count("transport.bytes_sent", 128.0)
+    telemetry.count("device.dispatch", 2.0, backend="numpy")
+    telemetry.gauge_max("pool.peak_workers", 3.0)
+    telemetry.observe("shm.region_bytes", 64.0)
+    telemetry.observe("shm.region_bytes", 192.0)
+    with telemetry.span("picasso.iteration", iteration=1):
+        with telemetry.span("picasso.assign"):
+            pass
+    return telemetry.snapshot()
+
+
+class TestTraceLines:
+    def test_every_line_is_json(self):
+        for line in trace_lines(_sample_snapshot()):
+            json.loads(line)
+
+    def test_spans_lead_with_parentage(self):
+        records = [json.loads(x) for x in trace_lines(_sample_snapshot())]
+        spans = [r for r in records if r["type"] == "span"]
+        assert records[: len(spans)] == spans  # spans come first
+        by_name = {s["name"]: s for s in spans}
+        outer = by_name["picasso.iteration"]
+        inner = by_name["picasso.assign"]
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+        assert outer["attrs"] == {"iteration": 1}
+
+    def test_dispatcher_proc_label(self):
+        records = [json.loads(x) for x in trace_lines(_sample_snapshot())]
+        spans = [r for r in records if r["type"] == "span"]
+        assert {s["proc"] for s in spans} == {"dispatcher"}
+
+    def test_counter_labels_split(self):
+        records = [json.loads(x) for x in trace_lines(_sample_snapshot())]
+        counters = {
+            r["name"]: r for r in records if r["type"] == "counter"
+        }
+        assert counters["transport.bytes_sent"]["value"] == 128.0
+        assert counters["transport.bytes_sent"]["labels"] == {}
+        assert counters["device.dispatch"]["labels"] == {"backend": "numpy"}
+
+    def test_histogram_aggregate(self):
+        records = [json.loads(x) for x in trace_lines(_sample_snapshot())]
+        (hist,) = [r for r in records if r["type"] == "histogram"]
+        assert hist["name"] == "shm.region_bytes"
+        assert hist["count"] == 2
+        assert hist["sum"] == 256.0
+        assert hist["min"] == 64.0
+        assert hist["max"] == 192.0
+
+    def test_write_round_trip(self, tmp_path):
+        snap = _sample_snapshot()
+        out = tmp_path / "nested" / "trace.jsonl"
+        telemetry.write_trace_jsonl(out, snap)
+        text = out.read_text()
+        assert text.endswith("\n")
+        assert [json.loads(x) for x in text.splitlines()] == [
+            json.loads(x) for x in trace_lines(snap)
+        ]
+
+
+class TestPrometheusLines:
+    def test_series_naming_and_types(self):
+        lines = prometheus_lines(_sample_snapshot())
+        assert "# TYPE repro_transport_bytes_sent counter" in lines
+        assert "repro_transport_bytes_sent 128" in lines
+        assert "# TYPE repro_pool_peak_workers gauge" in lines
+        assert "repro_pool_peak_workers 3" in lines
+        assert 'repro_device_dispatch{backend="numpy"} 2' in lines
+
+    def test_histogram_summary(self):
+        lines = prometheus_lines(_sample_snapshot())
+        assert "# TYPE repro_shm_region_bytes summary" in lines
+        assert "repro_shm_region_bytes_count 2" in lines
+        assert "repro_shm_region_bytes_sum 256" in lines
+
+    def test_spans_become_summaries(self):
+        lines = prometheus_lines(_sample_snapshot())
+        assert "# TYPE repro_span_picasso_iteration summary" in lines
+        assert "repro_span_picasso_iteration_count 1" in lines
+        assert any(
+            x.startswith("repro_span_picasso_assign_sum ") for x in lines
+        )
+
+    def test_type_header_emitted_once_per_series(self):
+        telemetry.enable(True)
+        telemetry.count("d", backend="numpy")
+        telemetry.count("d", backend="numba")
+        lines = prometheus_lines(telemetry.snapshot())
+        assert lines.count("# TYPE repro_d counter") == 1
+
+    def test_write_round_trip(self, tmp_path):
+        snap = _sample_snapshot()
+        out = tmp_path / "metrics.prom"
+        telemetry.write_prometheus(out, snap)
+        assert out.read_text() == "\n".join(prometheus_lines(snap)) + "\n"
+
+    def test_empty_snapshot_is_valid(self):
+        assert prometheus_lines(telemetry.snapshot()) == []
+        assert trace_lines(telemetry.snapshot()) == []

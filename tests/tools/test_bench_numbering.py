@@ -1,0 +1,119 @@
+"""Bench artifact numbering: gap-tolerant trajectory resolution.
+
+The PR sequence has holes — a lint-only PR ships no ``BENCH_PR<k>.json``
+(there is no ``BENCH_PR8.json``) — so both bench tools must derive
+artifact names from the highest number actually present, never from
+arithmetic over an assumed-contiguous range, and the gate must compare
+against the newest existing baseline without warning noise.
+"""
+
+import json
+import pathlib
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from check_regression import (  # noqa: E402
+    main as gate_main,
+    newest_committed_bench,
+    newest_pr_number,
+    next_pr_number,
+    quick_report_path,
+)
+
+
+def _mk(root: pathlib.Path, k: int, payload: dict | None = None) -> pathlib.Path:
+    p = root / f"BENCH_PR{k}.json"
+    p.write_text(json.dumps(payload if payload is not None else {}))
+    return p
+
+
+class TestTrajectoryNumbering:
+    def test_gap_tolerant_newest(self, tmp_path):
+        # 4, 6 and 8 missing — exactly the shipped-tree shape.
+        for k in (1, 2, 3, 5, 7, 9):
+            _mk(tmp_path, k)
+        assert newest_committed_bench(tmp_path).name == "BENCH_PR9.json"
+        assert newest_pr_number(tmp_path) == 9
+        assert next_pr_number(tmp_path) == 10
+        assert quick_report_path(tmp_path).name == "BENCH_PR9.quick.json"
+
+    def test_empty_root(self, tmp_path):
+        assert newest_committed_bench(tmp_path) is None
+        assert newest_pr_number(tmp_path) == 0
+        assert next_pr_number(tmp_path) == 1
+
+    def test_ignores_non_trajectory_names(self, tmp_path):
+        (tmp_path / "BENCH_PRx.json").write_text("{}")
+        (tmp_path / "BENCH_PR30.quick.json").write_text("{}")
+        (tmp_path / "BENCH_KERNELS.json").write_text("{}")
+        _mk(tmp_path, 2)
+        assert newest_pr_number(tmp_path) == 2
+
+    def test_quick_path_under_results(self, tmp_path):
+        _mk(tmp_path, 5)
+        p = quick_report_path(tmp_path)
+        assert p.parent == tmp_path / "benchmarks" / "results"
+
+
+class TestRunBenchPaths:
+    def test_paths_follow_trajectory(self, tmp_path, monkeypatch):
+        import run_bench
+
+        monkeypatch.setattr(run_bench, "REPO_ROOT", tmp_path)
+        for k in (7, 9):  # gap at 8
+            _mk(tmp_path, k)
+        assert run_bench.out_path(False) == tmp_path / "BENCH_PR10.json"
+        assert (
+            run_bench.out_path(True)
+            == tmp_path / "benchmarks" / "results" / "BENCH_PR9.quick.json"
+        )
+        assert (
+            run_bench.telemetry_snapshot_path(True).name
+            == "BENCH_PR9.quick.telemetry.prom"
+        )
+        assert (
+            run_bench.telemetry_snapshot_path(False).name
+            == "BENCH_PR10.telemetry.prom"
+        )
+
+
+class TestGate:
+    def _report(self, total_s: float) -> dict:
+        return {"cases": [{"name": "small", "tiled": {"total_s": total_s}}]}
+
+    def test_gates_against_newest_without_noise(self, tmp_path, capsys):
+        base = _mk(tmp_path, 9, self._report(1.0))
+        new = tmp_path / "new.quick.json"
+        new.write_text(json.dumps(self._report(1.05)))
+        rc = gate_main([
+            "--new", str(new), "--baseline", str(base),
+            "--threshold-pct", "25", "--commit-message", "",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "warning" not in out
+        assert "no regressions" in out
+
+    def test_regression_detected(self, tmp_path, capsys):
+        base = _mk(tmp_path, 9, self._report(1.0))
+        new = tmp_path / "new.quick.json"
+        new.write_text(json.dumps(self._report(2.0)))
+        rc = gate_main([
+            "--new", str(new), "--baseline", str(base),
+            "--threshold-pct", "25", "--commit-message", "",
+        ])
+        assert rc == 1
+
+    def test_waiver(self, tmp_path):
+        base = _mk(tmp_path, 9, self._report(1.0))
+        new = tmp_path / "new.quick.json"
+        new.write_text(json.dumps(self._report(2.0)))
+        rc = gate_main([
+            "--new", str(new), "--baseline", str(base),
+            "--threshold-pct", "25",
+            "--commit-message", "slow on purpose [bench-waiver]",
+        ])
+        assert rc == 0

@@ -175,6 +175,45 @@ CASES = [
         "import time\nt = time.perf_counter()\n",
         False,
     ),
+    # -- telemetry-clock --------------------------------------------------
+    (
+        "telemetry-clock",
+        "src/repro/x.py",
+        "import time\nt0 = time.perf_counter()\n",
+        True,
+    ),
+    (
+        "telemetry-clock",
+        "src/repro/x.py",
+        "import time\nt0 = time.monotonic()\n",
+        True,
+    ),
+    (
+        "telemetry-clock",
+        "src/repro/x.py",
+        "from time import perf_counter\n",
+        True,
+    ),
+    (
+        "telemetry-clock",
+        "src/repro/x.py",
+        "from repro import telemetry\nt0 = telemetry.clock()\n",
+        False,
+    ),
+    # time.sleep is not a timer; only the timing reads are routed.
+    (
+        "telemetry-clock",
+        "src/repro/x.py",
+        "import time\ntime.sleep(0.1)\n",
+        False,
+    ),
+    # The telemetry package itself wraps the stdlib timer.
+    (
+        "telemetry-clock",
+        "src/repro/telemetry/x.py",
+        "import time\nt0 = time.perf_counter()\n",
+        False,
+    ),
     # -- set-iteration ----------------------------------------------------
     (
         "set-iteration",

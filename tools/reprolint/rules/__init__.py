@@ -22,6 +22,7 @@ from tools.reprolint.rules.determinism import (
     NoRandomModuleRule,
     NoWallClockRule,
     SetIterationRule,
+    TelemetryClockRule,
 )
 from tools.reprolint.rules.layering import (
     BackendRegistryRule,
@@ -46,6 +47,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NoRandomModuleRule(),
     LegacyNumpyRandomRule(),
     NoWallClockRule(),
+    TelemetryClockRule(),
     SetIterationRule(),
     EngineRegistryRule(),
     BackendRegistryRule(),

@@ -117,8 +117,9 @@ class NoWallClockRule(Rule):
     name = "no-wallclock"
     contract = (
         "results never depend on the wall clock: time.time()/"
-        "datetime.now() are banned in the library (time.perf_counter() "
-        "is fine for elapsed_s metrics — it never feeds an ordering)"
+        "datetime.now() are banned in the library (durations come from "
+        "the monotonic repro.telemetry.clock() — they never feed an "
+        "ordering)"
     )
     scope = ("src/repro/",)
 
@@ -142,8 +143,8 @@ class NoWallClockRule(Rule):
                     ctx,
                     node,
                     f"time.{func.attr}() is wall-clock: use "
-                    "time.perf_counter() for durations; never let time "
-                    "influence results",
+                    "repro.telemetry.clock() for durations; never let "
+                    "time influence results",
                 )
             elif (
                 isinstance(base, ast.Name)
@@ -160,6 +161,55 @@ class NoWallClockRule(Rule):
                     f"{func.attr}() reads the wall clock: results and "
                     "filenames derived from it are not reproducible",
                 )
+
+
+class TelemetryClockRule(Rule):
+    """Route all library timing through the telemetry clock API."""
+
+    name = "telemetry-clock"
+    contract = (
+        "span and metric timing goes through repro.telemetry.clock() "
+        "— the one monotonic timer the exporters, phase buckets and "
+        "cross-process span merge agree on; raw time.perf_counter()/"
+        "time.monotonic() calls scattered through the library would "
+        "produce timestamps the trace cannot correlate"
+    )
+    scope = ("src/repro/",)
+    # The telemetry package itself wraps the stdlib timer.
+    exclude = ("src/repro/telemetry/",)
+
+    _BANNED = ("perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+                and node.func.attr in self._BANNED
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"time.{node.func.attr}() bypasses the telemetry "
+                    "clock: use repro.telemetry.clock() so spans, phase "
+                    "buckets and exporters share one timebase",
+                )
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "time"
+                and node.level == 0
+            ):
+                for alias in node.names:
+                    if alias.name in self._BANNED:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"importing {alias.name} from time bypasses "
+                            "the telemetry clock: use "
+                            "repro.telemetry.clock()",
+                        )
 
 
 def _is_set_expr(node: ast.expr) -> bool:
